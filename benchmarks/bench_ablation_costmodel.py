@@ -1,0 +1,73 @@
+"""Ablation — the Section 4.3 cost model vs the empirical optimum.
+
+Runs the grid-tree level walk of :func:`repro.grid.granularity.
+select_granularity` (with an empirical candidate counter plugged in as
+π2's |C| estimate) and compares the level it picks against a brute-force
+sweep of actual GridFilter query times.  Expectation: the model's choice
+lands within one level of the sweep's empirical optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_method
+from repro.bench import format_table, measure_workload
+from repro.core.stats import SearchStats
+from repro.grid.granularity import select_granularity
+
+from benchmarks.conftest import emit
+
+MAX_LEVEL = 9  # granularity up to 512 on the density-scaled bench space
+
+
+@pytest.mark.benchmark(group="ablation-costmodel")
+def test_costmodel_vs_sweep(benchmark, twitter_corpus, twitter_weighter, twitter_small_queries_bench):
+    queries = list(twitter_small_queries_bench)
+    filters: dict = {}
+
+    def filter_at(level: int):
+        if level not in filters:
+            filters[level] = build_method(
+                twitter_corpus, "grid", twitter_weighter, granularity=2 ** level
+            )
+        return filters[level]
+
+    def candidate_counter(level: int) -> float:
+        method = filter_at(level)
+        return sum(len(method.candidates(q, SearchStats())) for q in queries) / len(queries)
+
+    def run():
+        selection = select_granularity(
+            twitter_corpus,
+            queries,
+            max_level=MAX_LEVEL,
+            benefit_threshold=1.0,
+            pi1=1.0,
+            pi2=5.0,
+            candidate_counter=candidate_counter,
+        )
+        empirical = {
+            level: measure_workload(filter_at(level), queries).elapsed_ms
+            for level in range(2, MAX_LEVEL + 1)
+        }
+        return selection, empirical
+
+    selection, empirical = benchmark.pedantic(run, rounds=1, iterations=1)
+    best_level = min(empirical, key=empirical.get)
+    rows = {
+        "Model cost": [
+            round(next((c.total for c in selection.costs if c.level == lvl), float("nan")), 1)
+            for lvl in empirical
+        ],
+        "Measured ms/query": [round(empirical[lvl], 3) for lvl in empirical],
+    }
+    emit(
+        format_table(
+            f"Ablation: cost model picked level {selection.level} "
+            f"(granularity {selection.granularity}); empirical best level {best_level}",
+            "level",
+            list(empirical),
+            rows,
+        )
+    )

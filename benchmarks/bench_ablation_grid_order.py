@@ -1,0 +1,57 @@
+"""Ablation — the global grid order (Section 4.2, footnote 4).
+
+The paper fixes the ascending-``count(g)`` order and defers studying
+alternatives to future work.  This bench quantifies the footnote: the
+same GridFilter with four different global orders.  Expectation: the
+paper's ``count_asc`` probes the most selective lists first and wins (or
+ties) on entries retrieved; ``count_desc`` is the adversarial worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_method
+from repro.bench import format_table, measure_workload
+
+from benchmarks.conftest import emit, scaled_granularity
+
+ORDERS = ("count_asc", "count_desc", "cell_id", "hilbert")
+GRANULARITY = scaled_granularity(512)
+
+
+@pytest.fixture(scope="module")
+def ordered_filters(twitter_corpus, twitter_weighter):
+    return {
+        order: build_method(
+            twitter_corpus, "grid", twitter_weighter, granularity=GRANULARITY, order=order
+        )
+        for order in ORDERS
+    }
+
+
+@pytest.mark.benchmark(group="ablation-grid-order")
+def test_ablation_grid_order(benchmark, ordered_filters, twitter_small_queries_bench):
+    queries = list(twitter_small_queries_bench)
+
+    def run():
+        return {order: measure_workload(f, queries) for order, f in ordered_filters.items()}
+
+    measures = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = {
+        order: [
+            round(m.elapsed_ms, 3),
+            round(m.lists_probed, 1),
+            round(m.entries_retrieved, 1),
+            round(m.candidates, 1),
+        ]
+        for order, m in measures.items()
+    }
+    emit(
+        format_table(
+            "Ablation: global grid order (GridFilter 512, small-region queries)",
+            "order",
+            ["ms/query", "lists", "entries", "candidates"],
+            rows,
+        )
+    )

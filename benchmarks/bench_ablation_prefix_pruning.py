@@ -1,0 +1,63 @@
+"""Ablation — threshold-aware pruning (Sig-Filter vs Sig-Filter+).
+
+Section 4.2 introduces two improvements over the plain Sig-Filter:
+query-side signature prefixes (Lemma 2) and per-posting threshold bounds
+(Lemma 3).  This bench runs both variants of the token and grid filters
+to show what the `+` buys — fewer probed lists and far fewer retrieved
+entries, at the cost of a (slightly) looser candidate set (the union
+replaces the exact signature-similarity check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GridFilter, TokenFilter
+from repro.bench import format_table, measure_workload
+
+from benchmarks.conftest import emit, scaled_granularity
+
+GRANULARITY = scaled_granularity(512)
+
+
+@pytest.fixture(scope="module")
+def variants(twitter_corpus, twitter_weighter):
+    return {
+        "TokenFilter (Sig-Filter+)": TokenFilter(twitter_corpus, twitter_weighter),
+        "TokenFilter (Sig-Filter)": TokenFilter(
+            twitter_corpus, twitter_weighter, prefix_pruning=False
+        ),
+        "GridFilter (Sig-Filter+)": GridFilter(
+            twitter_corpus, GRANULARITY, twitter_weighter
+        ),
+        "GridFilter (Sig-Filter)": GridFilter(
+            twitter_corpus, GRANULARITY, twitter_weighter, prefix_pruning=False
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-prefix")
+def test_ablation_prefix_pruning(benchmark, variants, twitter_small_queries_bench):
+    queries = list(twitter_small_queries_bench)
+
+    def run():
+        return {name: measure_workload(m, queries) for name, m in variants.items()}
+
+    measures = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = {
+        name: [
+            round(m.elapsed_ms, 3),
+            round(m.lists_probed, 1),
+            round(m.entries_retrieved, 1),
+            round(m.candidates, 1),
+        ]
+        for name, m in measures.items()
+    }
+    emit(
+        format_table(
+            "Ablation: threshold-aware pruning (small-region queries)",
+            "variant",
+            ["ms/query", "lists", "entries", "candidates"],
+            rows,
+        )
+    )

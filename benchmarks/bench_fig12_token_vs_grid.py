@@ -1,0 +1,78 @@
+"""Figure 12 — TokenFilter vs GridFilter (four panels, Twitter).
+
+Panels: (a) large-region queries, vary τR; (b) large-region, vary τT;
+(c) small-region, vary τR; (d) small-region, vary τT.  Series:
+TokenFilter and GridFilter at granularities 256, 512, 1024.
+
+Paper shape to reproduce: TokenFilter wins at small τR / large τT,
+GridFilter gains as τR grows (spatial pruning bites) — i.e. the two
+curves cross, motivating the hybrid (Section 6.2's conclusion: "it is
+better to combine both filters").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_method
+from repro.bench import format_series_table, sweep
+
+from benchmarks.conftest import TAUS, emit, scaled_granularity
+
+#: Paper granularities; actual grids use the bench-space equivalents.
+GRANULARITIES = (256, 512, 1024)
+
+
+@pytest.fixture(scope="module")
+def methods(twitter_corpus, twitter_weighter):
+    out = {"TokenFilter": build_method(twitter_corpus, "token", twitter_weighter)}
+    for g in GRANULARITIES:
+        out[f"GridFilter({g})"] = build_method(
+            twitter_corpus, "grid", twitter_weighter, granularity=scaled_granularity(g)
+        )
+    return out
+
+
+def _panel(benchmark, methods, queries, axis, title):
+    def run():
+        return {
+            name: sweep(method, list(queries), TAUS, axis)
+            for name, method in methods.items()
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_series_table(title, axis, series, metric="elapsed_ms"))
+    emit(format_series_table(title + " — candidates", axis, series, metric="candidates"))
+    return series
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12a_large_vary_tau_r(benchmark, methods, twitter_large_queries):
+    _panel(
+        benchmark, methods, twitter_large_queries, "tau_r",
+        "Figure 12(a): Token vs Grid, large-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12b_large_vary_tau_t(benchmark, methods, twitter_large_queries):
+    _panel(
+        benchmark, methods, twitter_large_queries, "tau_t",
+        "Figure 12(b): Token vs Grid, large-region queries, vary tau_t (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12c_small_vary_tau_r(benchmark, methods, twitter_small_queries_bench):
+    _panel(
+        benchmark, methods, twitter_small_queries_bench, "tau_r",
+        "Figure 12(c): Token vs Grid, small-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12d_small_vary_tau_t(benchmark, methods, twitter_small_queries_bench):
+    _panel(
+        benchmark, methods, twitter_small_queries_bench, "tau_t",
+        "Figure 12(d): Token vs Grid, small-region queries, vary tau_t (ms/query)",
+    )

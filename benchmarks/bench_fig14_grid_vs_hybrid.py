@@ -1,0 +1,78 @@
+"""Figure 14 — GridFilter vs hash-based HybridFilter (four panels).
+
+Series: G-256/512/1024 (grid-only) against H-256/512/1024 (hash-based
+hybrid at the same granularities).  Paper shape: the hybrid is up to an
+order of magnitude faster at every granularity because it prunes on both
+axes simultaneously — its candidate sets are subsets of the grid
+filter's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_method
+from repro.bench import format_series_table, sweep
+
+from benchmarks.conftest import TAUS, emit, scaled_granularity
+
+#: Paper granularities; actual grids use the bench-space equivalents.
+GRANULARITIES = (256, 512, 1024)
+
+
+@pytest.fixture(scope="module")
+def methods(twitter_corpus, twitter_weighter):
+    out = {}
+    for g in GRANULARITIES:
+        out[f"G-{g}"] = build_method(
+            twitter_corpus, "grid", twitter_weighter, granularity=scaled_granularity(g)
+        )
+        out[f"H-{g}"] = build_method(
+            twitter_corpus, "hash-hybrid", twitter_weighter,
+            granularity=scaled_granularity(g), num_buckets=1 << 20,
+        )
+    return out
+
+
+def _panel(benchmark, methods, queries, axis, title):
+    def run():
+        return {
+            name: sweep(method, list(queries), TAUS, axis)
+            for name, method in methods.items()
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_series_table(title, axis, series, metric="elapsed_ms"))
+    emit(format_series_table(title + " — candidates", axis, series, metric="candidates"))
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14a_large_vary_tau_r(benchmark, methods, twitter_large_queries):
+    _panel(
+        benchmark, methods, twitter_large_queries, "tau_r",
+        "Figure 14(a): Grid vs Hybrid, large-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14b_large_vary_tau_t(benchmark, methods, twitter_large_queries):
+    _panel(
+        benchmark, methods, twitter_large_queries, "tau_t",
+        "Figure 14(b): Grid vs Hybrid, large-region queries, vary tau_t (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14c_small_vary_tau_r(benchmark, methods, twitter_small_queries_bench):
+    _panel(
+        benchmark, methods, twitter_small_queries_bench, "tau_r",
+        "Figure 14(c): Grid vs Hybrid, small-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14d_small_vary_tau_t(benchmark, methods, twitter_small_queries_bench):
+    _panel(
+        benchmark, methods, twitter_small_queries_bench, "tau_t",
+        "Figure 14(d): Grid vs Hybrid, small-region queries, vary tau_t (ms/query)",
+    )

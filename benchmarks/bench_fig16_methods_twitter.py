@@ -1,0 +1,85 @@
+"""Figure 16 — SEAL vs IR-tree / Keyword / Spatial on Twitter.
+
+The headline comparison: the paper's SEAL (hierarchical hybrid
+signatures) against the three baselines, four panels (large/small region
+× vary τR/τT).  Shape to reproduce: SEAL fastest at every threshold —
+"several tens of times faster than the baseline methods" — with Keyword
+hurt by low τT (no textual pruning of its huge candidate sets... its
+*only* pruning), Spatial hurt by low τR, and the IR-tree paying for loose
+hierarchical bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_series_table, measure_workload, sweep
+
+from benchmarks.conftest import DEFAULT_TAU, TAUS, emit
+
+
+def _panel(benchmark, methods, queries, axis, title):
+    def run():
+        return {
+            name: sweep(method, list(queries), TAUS, axis)
+            for name, method in methods.items()
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_series_table(title, axis, series, metric="elapsed_ms"))
+    emit(format_series_table(title + " — candidates", axis, series, metric="candidates"))
+
+
+@pytest.mark.benchmark(group="fig16-panels")
+def test_fig16a_large_vary_tau_r(benchmark, twitter_methods, twitter_large_queries):
+    _panel(
+        benchmark, twitter_methods, twitter_large_queries, "tau_r",
+        "Figure 16(a): methods on Twitter, large-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig16-panels")
+def test_fig16b_large_vary_tau_t(benchmark, twitter_methods, twitter_large_queries):
+    _panel(
+        benchmark, twitter_methods, twitter_large_queries, "tau_t",
+        "Figure 16(b): methods on Twitter, large-region queries, vary tau_t (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig16-panels")
+def test_fig16c_small_vary_tau_r(benchmark, twitter_methods, twitter_small_queries_bench):
+    _panel(
+        benchmark, twitter_methods, twitter_small_queries_bench, "tau_r",
+        "Figure 16(c): methods on Twitter, small-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig16-panels")
+def test_fig16d_small_vary_tau_t(benchmark, twitter_methods, twitter_small_queries_bench):
+    _panel(
+        benchmark, twitter_methods, twitter_small_queries_bench, "tau_t",
+        "Figure 16(d): methods on Twitter, small-region queries, vary tau_t (ms/query)",
+    )
+
+
+# Per-method single-point benchmarks at the default thresholds: these give
+# pytest-benchmark's statistics (stddev, rounds) for the paper's headline
+# comparison point.
+@pytest.mark.benchmark(group="fig16-default-point")
+@pytest.mark.parametrize("method_name", ["IR-Tree", "Keyword", "Spatial", "SEAL"])
+def test_fig16_default_thresholds(
+    benchmark, twitter_methods, twitter_small_queries_bench, method_name
+):
+    method = twitter_methods[method_name]
+    queries = [
+        q.with_thresholds(tau_r=DEFAULT_TAU, tau_t=DEFAULT_TAU)
+        for q in twitter_small_queries_bench
+    ]
+    measurement = benchmark.pedantic(
+        lambda: measure_workload(method, queries), rounds=3, iterations=1
+    )
+    emit(
+        f"fig16 default point — {method_name}: "
+        f"{measurement.elapsed_ms:.3f} ms/query, "
+        f"{measurement.candidates:.1f} candidates/query"
+    )

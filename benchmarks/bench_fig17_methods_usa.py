@@ -1,0 +1,60 @@
+"""Figure 17 — SEAL vs IR-tree / Keyword / Spatial on USA + DBLP.
+
+Same four panels as Figure 16 on the synthetic USA dataset.  The paper's
+observations to reproduce: Keyword sometimes performs *worse* than
+Spatial here (17(a)) because USA regions are small and uniform so spatial
+pruning is strong, while for large τT Spatial falls behind (17(d)); SEAL
+stays fastest everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_series_table, sweep
+
+from benchmarks.conftest import TAUS, emit
+
+
+def _panel(benchmark, methods, queries, axis, title):
+    def run():
+        return {
+            name: sweep(method, list(queries), TAUS, axis)
+            for name, method in methods.items()
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_series_table(title, axis, series, metric="elapsed_ms"))
+    emit(format_series_table(title + " — candidates", axis, series, metric="candidates"))
+
+
+@pytest.mark.benchmark(group="fig17-panels")
+def test_fig17a_large_vary_tau_r(benchmark, usa_methods, usa_large_queries):
+    _panel(
+        benchmark, usa_methods, usa_large_queries, "tau_r",
+        "Figure 17(a): methods on USA, large-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig17-panels")
+def test_fig17b_large_vary_tau_t(benchmark, usa_methods, usa_large_queries):
+    _panel(
+        benchmark, usa_methods, usa_large_queries, "tau_t",
+        "Figure 17(b): methods on USA, large-region queries, vary tau_t (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig17-panels")
+def test_fig17c_small_vary_tau_r(benchmark, usa_methods, usa_small_queries):
+    _panel(
+        benchmark, usa_methods, usa_small_queries, "tau_r",
+        "Figure 17(c): methods on USA, small-region queries, vary tau_r (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig17-panels")
+def test_fig17d_small_vary_tau_t(benchmark, usa_methods, usa_small_queries):
+    _panel(
+        benchmark, usa_methods, usa_small_queries, "tau_t",
+        "Figure 17(d): methods on USA, small-region queries, vary tau_t (ms/query)",
+    )

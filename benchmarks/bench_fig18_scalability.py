@@ -1,0 +1,75 @@
+"""Figure 18 — scalability: elapsed time vs number of objects.
+
+The paper grows the Twitter corpus from 0.2M to 1M objects *within the
+same space* (density rises with N) and plots SEAL's per-query time for
+several thresholds, observing sub-linear growth.  We reproduce the setup
+at bench scale: one corpus generated at the largest size, prefixes taken
+for the smaller sizes, and SEAL rebuilt per size.
+
+Panels: (a) large-region queries across spatial thresholds; (b)
+large-region queries across textual thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_method
+from repro.bench import format_table, measure_workload
+from repro.datasets import generate_queries
+
+from benchmarks.conftest import BENCH_N, emit, make_twitter_corpus
+
+SIZE_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+SWEEP_TAUS = (0.1, 0.3, 0.5)
+
+
+@pytest.fixture(scope="module")
+def scaled_engines():
+    """SEAL engines over growing prefixes of one fixed-space corpus."""
+    full = make_twitter_corpus(BENCH_N)
+    engines = {}
+    for fraction in SIZE_FRACTIONS:
+        n = int(BENCH_N * fraction)
+        subset = full[:n]  # oids stay dense: 0..n-1
+        engines[n] = build_method(subset, "seal", mt=32, max_level=8, min_objects=8)
+    queries = generate_queries(full, "large", 16, seed=13, tau_r=0.4, tau_t=0.4)
+    return engines, list(queries)
+
+
+def _panel(benchmark, scaled_engines, axis, title):
+    engines, queries = scaled_engines
+
+    def run():
+        rows = {}
+        for tau in SWEEP_TAUS:
+            label = f"{'Spatial' if axis == 'tau_r' else 'Textual'} Threshold={tau}"
+            cells = []
+            for n, engine in engines.items():
+                stamped = [
+                    q.with_thresholds(tau_r=tau) if axis == "tau_r" else q.with_thresholds(tau_t=tau)
+                    for q in queries
+                ]
+                cells.append(round(measure_workload(engine, stamped).elapsed_ms, 3))
+            rows[label] = cells
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    engines_keys = list(engines)
+    emit(format_table(title, "num objects", engines_keys, rows))
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18a_vary_spatial_threshold(benchmark, scaled_engines):
+    _panel(
+        benchmark, scaled_engines, "tau_r",
+        "Figure 18(a): SEAL scalability vs corpus size, spatial thresholds (ms/query)",
+    )
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18b_vary_textual_threshold(benchmark, scaled_engines):
+    _panel(
+        benchmark, scaled_engines, "tau_t",
+        "Figure 18(b): SEAL scalability vs corpus size, textual thresholds (ms/query)",
+    )

@@ -1,0 +1,11 @@
+"""Legacy-editable-install shim.
+
+This environment has no network and no ``wheel`` package, so PEP 517
+editable builds cannot run; with this shim (plus ``use-pep517 = false`` /
+``no-build-isolation`` in pip config) ``pip install -e .`` takes the
+classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""SEAL: spatio-textual similarity search over regions-of-interest.
+
+A from-scratch reproduction of *SEAL: Spatio-Textual Similarity Search*
+(Fan, Li, Zhou, Chen, Hu — PVLDB 5(9), 2012).  Given a corpus of ROIs
+(MBR region + token set) and a query ROI with spatial/textual similarity
+thresholds, SEAL returns every object similar on *both* axes, using
+signature-based filter-and-verification with threshold-aware pruning.
+
+Quickstart::
+
+    from repro import Rect, SealSearch
+
+    engine = SealSearch(
+        [(Rect(0, 0, 10, 10), {"coffee", "mocha"}),
+         (Rect(2, 2, 12, 12), {"coffee", "starbucks"})],
+        method="seal",
+    )
+    result = engine.search(Rect(1, 1, 11, 11), {"coffee", "mocha"},
+                           tau_r=0.3, tau_t=0.3)
+    for oid in result:
+        print(engine.object(oid))
+
+See ``DESIGN.md`` for the module map and ``EXPERIMENTS.md`` for the
+reproduction of the paper's evaluation.
+"""
+
+from repro.baselines import IRTreeSearch, KeywordFirstSearch, NaiveSearch, SpatialFirstSearch
+from repro.core.engine import METHOD_REGISTRY, SealSearch, build_method
+from repro.core.errors import ConfigurationError, IndexBuildError, InvalidQueryError, SealError
+from repro.core.objects import Corpus, Query, SpatioTextualObject, make_corpus
+from repro.core.similarity import spatial_similarity, textual_similarity
+from repro.core.stats import SearchResult, SearchStats
+from repro.filters import GridFilter, HierarchicalFilter, HybridFilter, TokenFilter
+from repro.geometry import Rect
+from repro.text import TokenWeighter, tokenize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "METHOD_REGISTRY",
+    "ConfigurationError",
+    "Corpus",
+    "GridFilter",
+    "HierarchicalFilter",
+    "HybridFilter",
+    "IRTreeSearch",
+    "IndexBuildError",
+    "InvalidQueryError",
+    "KeywordFirstSearch",
+    "NaiveSearch",
+    "Query",
+    "Rect",
+    "SealError",
+    "SealSearch",
+    "SearchResult",
+    "SearchStats",
+    "SpatialFirstSearch",
+    "SpatioTextualObject",
+    "TokenFilter",
+    "TokenWeighter",
+    "build_method",
+    "make_corpus",
+    "spatial_similarity",
+    "textual_similarity",
+    "tokenize",
+]

@@ -1,0 +1,16 @@
+"""Analysis utilities: signature statistics and filtering-power reports.
+
+Benchmarks report *times*; understanding why a filter wins needs the
+structural numbers underneath — list-length distributions, signature
+sizes, probe selectivities.  This package computes them for any built
+method, and the EXPERIMENTS narrative quotes them.
+"""
+
+from repro.analysis.signature_stats import (
+    FilterPowerReport,
+    IndexStats,
+    filtering_power,
+    index_stats,
+)
+
+__all__ = ["FilterPowerReport", "IndexStats", "filtering_power", "index_stats"]

@@ -1,0 +1,19 @@
+"""Baseline search methods (Section 2.3).
+
+* :class:`~repro.baselines.naive.NaiveSearch` — exhaustive scan; the
+  ground truth every other method is tested against.
+* :class:`~repro.baselines.keyword_first.KeywordFirstSearch` — textual
+  predicate first via plain inverted lists, spatial check second.
+* :class:`~repro.baselines.spatial_first.SpatialFirstSearch` — spatial
+  predicate first via an R-tree, textual check second.
+* :class:`~repro.baselines.irtree.IRTreeSearch` — the IR-tree [Cong et
+  al. 2009] extended to spatio-textual similarity search exactly as the
+  paper describes.
+"""
+
+from repro.baselines.irtree import IRTreeSearch
+from repro.baselines.keyword_first import KeywordFirstSearch
+from repro.baselines.naive import NaiveSearch
+from repro.baselines.spatial_first import SpatialFirstSearch
+
+__all__ = ["IRTreeSearch", "KeywordFirstSearch", "NaiveSearch", "SpatialFirstSearch"]

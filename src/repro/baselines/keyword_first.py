@@ -1,0 +1,73 @@
+"""The keyword-first baseline (Section 2.3).
+
+Plain inverted lists map each token to the objects containing it.  A
+query gathers every object sharing at least one query token, computes the
+*exact* textual similarity, keeps those with ``simT ≥ τT``, and leaves the
+spatial check to verification.  Its weakness — the reason SEAL exists —
+is that popular query tokens drag in enormous candidate sets that spatial
+information could have pruned.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Collection, List, Sequence
+
+from repro.core.method import SearchMethod
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.stats import SearchStats
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingList
+from repro.index.storage import IndexSizeReport, measure_index
+from repro.text.weights import TokenWeighter
+
+
+class KeywordFirstSearch(SearchMethod):
+    """Textual-predicate-first baseline (``Keyword`` in Figures 16–17)."""
+
+    name = "keyword-first"
+
+    def __init__(
+        self,
+        objects: Sequence[SpatioTextualObject],
+        weighter: TokenWeighter | None = None,
+    ) -> None:
+        super().__init__(objects, weighter)
+        # Plain postings: no bounds, bound slot reused as 0.0.
+        self.index: InvertedIndex = InvertedIndex(PostingList)
+        for obj in self.corpus:
+            for token in obj.tokens:
+                self.index.list_for(token).add(obj.oid, 0.0)
+        self.index.freeze()
+        self._token_totals = [self.weighter.total_weight(obj.tokens) for obj in self.corpus]
+
+    def candidates(self, query: Query, stats: SearchStats) -> Collection[int]:
+        q_total = self.weighter.total_weight(query.tokens)
+        if query.tau_t <= 0.0 or q_total <= 0.0:
+            # Vacuous textual predicate — or a zero-weight query token
+            # set, which scores simT = 1 against any object whose tokens
+            # also weigh nothing, without sharing a single token.  Lists
+            # cannot reach those objects; scan instead.
+            return self.all_oids()
+        weight = self.weighter.weight
+        overlap: defaultdict[int, float] = defaultdict(float)
+        for token in query.tokens:
+            plist = self.index.get(token)
+            if plist is None:
+                continue
+            stats.lists_probed += 1
+            w = weight(token)
+            for oid in plist.retrieve(0.0):
+                stats.entries_retrieved += 1
+                overlap[oid] += w
+        tau_t = query.tau_t
+        totals = self._token_totals
+        out: List[int] = []
+        for oid, inter_w in overlap.items():
+            union_w = q_total + totals[oid] - inter_w
+            if union_w <= 0.0 or inter_w >= tau_t * union_w:
+                out.append(oid)
+        return out
+
+    def index_size(self) -> IndexSizeReport:
+        return measure_index(self.index, bounds_per_posting=0)

@@ -1,0 +1,24 @@
+"""Exhaustive-scan search: the correctness oracle.
+
+``NaiveSearch`` hands every oid to the shared verifier, so its answers
+are by construction the set defined in Definition 3.  Every filter's test
+suite compares against it, which also guarantees all methods share the
+exact same floating-point similarity semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.core.method import SearchMethod
+from repro.core.objects import Query
+from repro.core.stats import SearchStats
+
+
+class NaiveSearch(SearchMethod):
+    """Scan-everything search (no filter step at all)."""
+
+    name = "naive"
+
+    def candidates(self, query: Query, stats: SearchStats) -> Collection[int]:
+        return self.all_oids()

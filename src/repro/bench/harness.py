@@ -1,0 +1,83 @@
+"""Workload measurement and threshold sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Sequence
+
+from repro.core.method import SearchMethod
+from repro.core.objects import Query
+from repro.core.stats import SearchStats
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadMeasurement:
+    """Averages over one workload run (the paper reports per-query means).
+
+    Attributes:
+        queries: Workload size.
+        elapsed_ms: Mean end-to-end time per query (filter + verify).
+        filter_ms: Mean filter-step time per query.
+        verify_ms: Mean verification time per query.
+        candidates: Mean candidate-set size per query.
+        entries_retrieved: Mean postings scanned per query.
+        lists_probed: Mean inverted lists probed per query.
+        results: Mean answer count per query.
+    """
+
+    queries: int
+    elapsed_ms: float
+    filter_ms: float
+    verify_ms: float
+    candidates: float
+    entries_retrieved: float
+    lists_probed: float
+    results: float
+
+
+def measure_workload(method: SearchMethod, queries: Sequence[Query]) -> WorkloadMeasurement:
+    """Run every query once and average the per-query stats."""
+    if not queries:
+        raise ValueError("measure_workload requires a non-empty workload")
+    totals = SearchStats()
+    for query in queries:
+        result = method.search(query)
+        totals.merge(result.stats)
+    n = len(queries)
+    return WorkloadMeasurement(
+        queries=n,
+        elapsed_ms=1000.0 * totals.total_seconds / n,
+        filter_ms=1000.0 * totals.filter_seconds / n,
+        verify_ms=1000.0 * totals.verify_seconds / n,
+        candidates=totals.candidates / n,
+        entries_retrieved=totals.entries_retrieved / n,
+        lists_probed=totals.lists_probed / n,
+        results=totals.results / n,
+    )
+
+
+def sweep(
+    method: SearchMethod,
+    queries: Sequence[Query],
+    taus: Iterable[float],
+    axis: str,
+) -> Dict[float, WorkloadMeasurement]:
+    """Measure the workload at each threshold along one axis.
+
+    Args:
+        method: The search method under test.
+        queries: Base workload (its other-axis thresholds are kept).
+        taus: Threshold values to sweep.
+        axis: ``"tau_r"`` (vary spatial) or ``"tau_t"`` (vary textual) —
+            the x-axes of Figures 12, 14, 16 and 17.
+    """
+    if axis not in ("tau_r", "tau_t"):
+        raise ValueError(f"axis must be 'tau_r' or 'tau_t', got {axis!r}")
+    out: Dict[float, WorkloadMeasurement] = {}
+    for tau in taus:
+        stamped = [
+            q.with_thresholds(tau_r=tau) if axis == "tau_r" else q.with_thresholds(tau_t=tau)
+            for q in queries
+        ]
+        out[tau] = measure_workload(method, stamped)
+    return out

@@ -1,0 +1,76 @@
+"""Plain-text tables mirroring the paper's figures.
+
+Each benchmark prints one table per figure panel: rows are methods (the
+figure's series), columns the swept parameter (the x-axis), and cells the
+mean per-query elapsed milliseconds — exactly what the paper plots.  A
+second candidate-count table reproduces the companion numbers the
+technical report carries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.bench.harness import WorkloadMeasurement
+
+
+def format_table(
+    title: str,
+    col_header: str,
+    columns: Sequence[object],
+    rows: Mapping[str, Sequence[object]],
+) -> str:
+    """Generic fixed-width table.
+
+    Args:
+        title: Caption printed above the table.
+        col_header: Name of the column dimension (e.g. ``tau_r``).
+        columns: Column labels.
+        rows: ``series name -> one value per column``.
+    """
+    label_width = max([len(col_header)] + [len(name) for name in rows]) + 2
+    col_width = max([10] + [len(_fmt(c)) + 2 for c in columns])
+    lines = [title, "-" * len(title)]
+    header = col_header.ljust(label_width) + "".join(
+        _fmt(c).rjust(col_width) for c in columns
+    )
+    lines.append(header)
+    for name, values in rows.items():
+        lines.append(
+            name.ljust(label_width) + "".join(_fmt(v).rjust(col_width) for v in values)
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    axis_name: str,
+    series: Mapping[str, Dict[float, WorkloadMeasurement]],
+    metric: str = "elapsed_ms",
+) -> str:
+    """Format sweep results as a figure-shaped table.
+
+    Args:
+        title: Figure caption (e.g. ``Figure 16(a) Twitter large-region``).
+        axis_name: The swept threshold name.
+        series: ``method name -> {tau -> measurement}``.
+        metric: Which :class:`WorkloadMeasurement` field to print.
+    """
+    columns: list[float] = sorted({tau for sweep_ in series.values() for tau in sweep_})
+    rows = {
+        name: [getattr(sweep_[tau], metric) if tau in sweep_ else "" for tau in columns]
+        for name, sweep_ in series.items()
+    }
+    return format_table(title, axis_name, columns, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,222 @@
+"""Command-line interface: generate, inspect, build, query, sweep.
+
+Everything the library does, scriptable without writing Python::
+
+    seal-repro generate twitter --num-objects 5000 --out corpus.jsonl \\
+        --queries queries.jsonl --kind small
+    seal-repro stats corpus.jsonl
+    seal-repro build corpus.jsonl --method seal --out engine.pkl
+    seal-repro query engine.pkl --region 10,10,20,20 --tokens coffee,tea \\
+        --tau-r 0.3 --tau-t 0.3
+    seal-repro query engine.pkl --queries queries.jsonl
+    seal-repro sweep corpus.jsonl --methods seal,irtree --axis tau_r
+
+(Also reachable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Sequence
+
+import numpy as np
+
+from repro import Query, Rect, SealError, TokenWeighter, build_method
+from repro.bench import format_series_table, measure_workload, sweep as run_sweep
+from repro.core.engine import METHOD_REGISTRY
+from repro.datasets import generate_queries, generate_twitter, generate_usa
+from repro.io import load_corpus, load_engine, load_queries, save_corpus, save_engine, save_queries
+
+#: Method-constructor knobs the CLI exposes, with parsers.
+_METHOD_PARAMS = {
+    "granularity": int,
+    "mt": int,
+    "max_level": int,
+    "num_buckets": int,
+    "max_entries": int,
+    "min_objects": int,
+    "budget_scaling": float,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except SealError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seal-repro",
+        description="SEAL spatio-textual similarity search (VLDB 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus (and workload)")
+    gen.add_argument("dataset", choices=["twitter", "usa"])
+    gen.add_argument("--num-objects", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True, help="corpus JSONL path")
+    gen.add_argument("--queries", help="also write a query workload here")
+    gen.add_argument("--kind", choices=["large", "small"], default="small")
+    gen.add_argument("--num-queries", type=int, default=100)
+    gen.add_argument("--tau-r", type=float, default=0.4)
+    gen.add_argument("--tau-t", type=float, default=0.4)
+    gen.set_defaults(handler=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="print corpus statistics")
+    stats.add_argument("corpus")
+    stats.set_defaults(handler=_cmd_stats)
+
+    build = sub.add_parser("build", help="build an engine snapshot from a corpus")
+    build.add_argument("corpus")
+    build.add_argument("--method", choices=sorted(METHOD_REGISTRY), default="seal")
+    build.add_argument("--out", required=True, help="snapshot path (.pkl)")
+    for name, type_ in _METHOD_PARAMS.items():
+        build.add_argument(f"--{name.replace('_', '-')}", type=type_, default=None)
+    build.set_defaults(handler=_cmd_build)
+
+    query = sub.add_parser("query", help="query an engine snapshot")
+    query.add_argument("engine")
+    query.add_argument("--region", help="x1,y1,x2,y2")
+    query.add_argument("--tokens", help="comma-separated tokens")
+    query.add_argument("--tau-r", type=float, default=0.4)
+    query.add_argument("--tau-t", type=float, default=0.4)
+    query.add_argument("--queries", help="JSONL workload instead of a single query")
+    query.add_argument("--show", type=int, default=10, help="answers to print per query")
+    query.set_defaults(handler=_cmd_query)
+
+    sweep_cmd = sub.add_parser("sweep", help="threshold sweep over methods (figure-style table)")
+    sweep_cmd.add_argument("corpus")
+    sweep_cmd.add_argument("--methods", default="seal,irtree,keyword-first,spatial-first")
+    sweep_cmd.add_argument("--axis", choices=["tau_r", "tau_t"], default="tau_r")
+    sweep_cmd.add_argument("--taus", default="0.1,0.2,0.3,0.4,0.5")
+    sweep_cmd.add_argument("--kind", choices=["large", "small"], default="small")
+    sweep_cmd.add_argument("--num-queries", type=int, default=16)
+    sweep_cmd.add_argument("--seed", type=int, default=13)
+    sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = generate_twitter if args.dataset == "twitter" else generate_usa
+    objects = generator(args.num_objects, seed=args.seed)
+    count = save_corpus(objects, args.out)
+    print(f"wrote {count} objects to {args.out}")
+    if args.queries:
+        workload = generate_queries(
+            objects,
+            args.kind,
+            num_queries=args.num_queries,
+            seed=args.seed,
+            tau_r=args.tau_r,
+            tau_t=args.tau_t,
+        )
+        save_queries(workload, args.queries)
+        print(f"wrote {len(workload)} {args.kind}-region queries to {args.queries}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    objects = load_corpus(args.corpus)
+    if not objects:
+        print("empty corpus")
+        return 0
+    areas = np.array([obj.region.area for obj in objects])
+    tokens = np.array([len(obj.tokens) for obj in objects])
+    vocab = {t for obj in objects for t in obj.tokens}
+    from repro.geometry.rect import mbr_of
+
+    space = mbr_of([obj.region for obj in objects])
+    print(f"objects:            {len(objects)}")
+    print(f"space:              {space.as_tuple()} ({space.area:.4g} area units)")
+    print(f"region area:        mean {areas.mean():.4g}, median {np.median(areas):.4g}, "
+          f"max {areas.max():.4g}")
+    print(f"tokens per object:  mean {tokens.mean():.2f}, max {tokens.max()}")
+    print(f"distinct tokens:    {len(vocab)}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    objects = load_corpus(args.corpus)
+    params = {
+        name: getattr(args, name)
+        for name in _METHOD_PARAMS
+        if getattr(args, name, None) is not None
+    }
+    started = time.perf_counter()
+    method = build_method(objects, args.method, **params)
+    elapsed = time.perf_counter() - started
+    save_engine(method, args.out)
+    report = method.index_size()
+    size = f", index {report.total_mb:.2f} MB" if report is not None else ""
+    print(f"built {args.method} over {len(objects)} objects in {elapsed:.1f}s{size}; "
+          f"snapshot at {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    method = load_engine(args.engine)
+    if args.queries:
+        queries = load_queries(args.queries)
+    else:
+        if not args.region or args.tokens is None:
+            print("error: provide --region and --tokens, or --queries", file=sys.stderr)
+            return 2
+        coords = [float(v) for v in args.region.split(",")]
+        if len(coords) != 4:
+            print("error: --region needs x1,y1,x2,y2", file=sys.stderr)
+            return 2
+        tokens = frozenset(t for t in args.tokens.split(",") if t)
+        queries = [Query(Rect(*coords), tokens, args.tau_r, args.tau_t)]
+
+    for i, query in enumerate(queries):
+        result = method.search(query)
+        shown = result.answers[: args.show]
+        more = f" (+{len(result) - len(shown)} more)" if len(result) > len(shown) else ""
+        print(f"query {i}: {len(result)} answers {shown}{more} — "
+              f"{1000 * result.stats.total_seconds:.2f} ms, "
+              f"{result.stats.candidates} candidates")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    objects = load_corpus(args.corpus)
+    weighter = TokenWeighter(obj.tokens for obj in objects)
+    names: List[str] = [m.strip() for m in args.methods.split(",") if m.strip()]
+    taus = [float(v) for v in args.taus.split(",")]
+    workload = generate_queries(
+        objects, args.kind, num_queries=args.num_queries, seed=args.seed
+    )
+    series = {}
+    for name in names:
+        method = build_method(objects, name, weighter)
+        series[name] = run_sweep(method, list(workload), taus, args.axis)
+    print(format_series_table(
+        f"{args.kind}-region queries over {args.corpus}, vary {args.axis} (ms/query)",
+        args.axis,
+        series,
+    ))
+    print()
+    print(format_series_table("candidates per query", args.axis, series, metric="candidates"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""SEAL core: data model, similarity functions, engine facade.
+
+This package holds the paper's primary contribution — the
+filter-and-verification framework (Algorithm 1, ``SealSig``) — plus the
+public entry points a downstream user touches:
+
+* :class:`~repro.core.objects.SpatioTextualObject` / :class:`~repro.core.objects.Query`
+* :func:`~repro.core.similarity.spatial_similarity` / :func:`~repro.core.similarity.textual_similarity`
+* :class:`~repro.core.engine.SealSearch` and :func:`~repro.core.engine.build_method`
+"""
+
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.similarity import (
+    spatial_similarity,
+    textual_similarity,
+)
+from repro.core.stats import SearchResult, SearchStats
+
+__all__ = [
+    "Query",
+    "SpatioTextualObject",
+    "SearchResult",
+    "SearchStats",
+    "spatial_similarity",
+    "textual_similarity",
+]

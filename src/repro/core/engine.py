@@ -1,0 +1,142 @@
+"""The user-facing engine: one constructor for every search method.
+
+:func:`build_method` is the registry-backed factory the benchmarks drive;
+:class:`SealSearch` is the convenience facade a downstream application
+uses — build once from ``(region, tokens)`` pairs, then query with
+regions, token iterables and thresholds without touching internal types.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence
+
+from repro.baselines.irtree import IRTreeSearch
+from repro.baselines.keyword_first import KeywordFirstSearch
+from repro.baselines.naive import NaiveSearch
+from repro.baselines.spatial_first import SpatialFirstSearch
+from repro.core.errors import ConfigurationError
+from repro.core.method import SearchMethod
+from repro.core.objects import Query, SpatioTextualObject, make_corpus
+from repro.core.stats import SearchResult
+from repro.filters.grid_filter import GridFilter
+from repro.filters.hierarchical_filter import HierarchicalFilter
+from repro.filters.hybrid_filter import HybridFilter
+from repro.filters.token_filter import TokenFilter
+from repro.geometry import Rect
+from repro.text.weights import TokenWeighter
+
+#: method name -> constructor; every constructor accepts
+#: (objects, weighter=None, **params).
+METHOD_REGISTRY: Dict[str, Callable[..., SearchMethod]] = {
+    "naive": NaiveSearch,
+    "keyword-first": KeywordFirstSearch,
+    "spatial-first": SpatialFirstSearch,
+    "irtree": IRTreeSearch,
+    "token": TokenFilter,
+    "grid": GridFilter,
+    "hash-hybrid": HybridFilter,
+    "seal": HierarchicalFilter,
+}
+
+
+def build_method(
+    objects: Sequence[SpatioTextualObject],
+    name: str,
+    weighter: TokenWeighter | None = None,
+    **params,
+) -> SearchMethod:
+    """Construct a search method by registry name.
+
+    Args:
+        objects: The corpus (dense oids).
+        name: One of ``naive``, ``keyword-first``, ``spatial-first``,
+            ``irtree``, ``token``, ``grid``, ``hash-hybrid``, ``seal``.
+        weighter: Shared idf statistics; building several methods over the
+            same corpus with one weighter keeps similarity semantics (and
+            work) shared.
+        **params: Method-specific knobs (``granularity``, ``mt``,
+            ``num_buckets``, ``max_entries``, …).
+
+    Raises:
+        ConfigurationError: For unknown method names.
+    """
+    try:
+        ctor = METHOD_REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(sorted(METHOD_REGISTRY))
+        raise ConfigurationError(f"unknown method {name!r}; valid methods: {valid}") from None
+    if name == "grid":
+        # GridFilter's positional order is (objects, granularity, weighter).
+        granularity = params.pop("granularity", 256)
+        return ctor(objects, granularity, weighter, **params)
+    if name == "hash-hybrid":
+        granularity = params.pop("granularity", 256)
+        return ctor(objects, granularity, weighter, **params)
+    if name == "seal":
+        mt = params.pop("mt", 32)
+        max_level = params.pop("max_level", 8)
+        return ctor(objects, mt, max_level, weighter, **params)
+    return ctor(objects, weighter, **params)
+
+
+class SealSearch:
+    """High-level spatio-textual similarity search over ROI data.
+
+    Args:
+        data: ``(region, tokens)`` pairs describing the ROIs.
+        method: Search method name (default: the paper's best, ``seal``).
+        **params: Passed through to the method constructor.
+
+    Examples:
+        >>> engine = SealSearch([
+        ...     (Rect(0, 0, 10, 10), {"coffee", "mocha"}),
+        ...     (Rect(40, 40, 50, 50), {"tea"}),
+        ... ], method="token")
+        >>> result = engine.search(Rect(1, 1, 9, 9), {"coffee"}, tau_r=0.2, tau_t=0.3)
+        >>> list(result)
+        [0]
+    """
+
+    def __init__(
+        self,
+        data: Iterable[tuple[Rect, Iterable[str]]],
+        method: str = "seal",
+        **params,
+    ) -> None:
+        self.objects = make_corpus(data)
+        if not self.objects:
+            raise ConfigurationError("SealSearch requires at least one object")
+        self.weighter = TokenWeighter(obj.tokens for obj in self.objects)
+        self.method = build_method(self.objects, method, self.weighter, **params)
+
+    def search(
+        self,
+        region: Rect,
+        tokens: Iterable[str],
+        tau_r: float,
+        tau_t: float,
+    ) -> SearchResult:
+        """Find all objects with ``simR ≥ tau_r`` and ``simT ≥ tau_t``."""
+        query = Query(region=region, tokens=frozenset(tokens), tau_r=tau_r, tau_t=tau_t)
+        return self.method.search(query)
+
+    def search_query(self, query: Query) -> SearchResult:
+        """Search with a prebuilt :class:`~repro.core.objects.Query`."""
+        return self.method.search(query)
+
+    def object(self, oid: int) -> SpatioTextualObject:
+        """Resolve an answer oid back to its object."""
+        return self.objects[oid]
+
+    def similarities(self, query: Query, oid: int) -> tuple[float, float]:
+        """The exact (spatial, textual) similarities of one object."""
+        from repro.core.similarity import spatial_similarity, textual_similarity
+
+        obj = self.objects[oid]
+        return (
+            spatial_similarity(query.region, obj.region),
+            textual_similarity(query.tokens, obj.tokens, self.weighter),
+        )
+
+    def __len__(self) -> int:
+        return len(self.objects)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the SEAL library.
+
+A single root (:class:`SealError`) lets callers catch everything the
+library raises deliberately, while the subclasses distinguish user errors
+(bad query/threshold) from configuration errors (unknown method name,
+inconsistent index parameters).
+"""
+
+from __future__ import annotations
+
+
+class SealError(Exception):
+    """Root of all errors raised deliberately by the repro library."""
+
+
+class InvalidQueryError(SealError, ValueError):
+    """A query's thresholds or payload are outside the supported domain."""
+
+
+class ConfigurationError(SealError, ValueError):
+    """An engine/index was configured with inconsistent parameters."""
+
+
+class IndexBuildError(SealError, RuntimeError):
+    """An index could not be constructed from the given corpus."""

@@ -1,0 +1,79 @@
+"""The common search-method interface (Algorithm 1, ``SealSig``).
+
+Every search strategy in the library — the four SEAL signature filters and
+the four baselines — is a :class:`SearchMethod`: it owns its index, turns
+a query into a candidate oid collection (*filter step*), and delegates the
+*verification step* to the shared :class:`~repro.core.verification.Verifier`.
+``search`` wires the two steps together with timing instrumentation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Collection, Sequence
+
+from repro.core.objects import Corpus, Query, SpatioTextualObject
+from repro.core.stats import SearchResult, SearchStats, Stopwatch
+from repro.core.verification import Verifier
+from repro.index.storage import IndexSizeReport
+from repro.text.weights import TokenWeighter
+
+
+class SearchMethod(abc.ABC):
+    """Filter-and-verification search over a fixed corpus.
+
+    Args:
+        objects: The corpus; oids must be dense and in order (as produced
+            by :func:`repro.core.objects.make_corpus`).
+        weighter: Corpus idf statistics; built from the corpus when omitted
+            so that ad-hoc use stays one-liner simple.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        objects: Sequence[SpatioTextualObject],
+        weighter: TokenWeighter | None = None,
+    ) -> None:
+        self.corpus = objects if isinstance(objects, Corpus) else Corpus(objects)
+        if weighter is None:
+            weighter = TokenWeighter(obj.tokens for obj in self.corpus)
+        self.weighter = weighter
+        self.verifier = Verifier(self.corpus, weighter)
+
+    # ------------------------------------------------------------------
+    # The two framework steps
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def candidates(self, query: Query, stats: SearchStats) -> Collection[int]:
+        """Filter step: a superset of the answer oids (Step 1, Sec. 3.1)."""
+
+    def search(self, query: Query) -> SearchResult:
+        """Filter, then verify; answers come back sorted by oid."""
+        stats = SearchStats()
+        watch = Stopwatch()
+        candidate_oids = self.candidates(query, stats)
+        stats.filter_seconds = watch.lap()
+        stats.candidates = len(candidate_oids)
+        answers = self.verifier.verify(query, candidate_oids, stats)
+        stats.verify_seconds = watch.lap()
+        answers.sort()
+        return SearchResult(answers=answers, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def index_size(self) -> IndexSizeReport | None:
+        """Byte-accounting report for Table 1; None when not applicable."""
+        return None
+
+    def all_oids(self) -> range:
+        """Every oid — the degenerate candidate set for vacuous thresholds."""
+        return range(len(self.corpus))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(|O|={len(self.corpus)})"

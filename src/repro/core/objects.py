@@ -1,0 +1,135 @@
+"""The ROI data model: spatio-textual objects and queries (Section 2.1).
+
+An object ``o = (R, T)`` pairs an MBR region with a token set; a query
+additionally carries the two similarity thresholds ``τR`` and ``τT``.
+Objects are immutable value types — every index in the library keys them
+by their integer ``oid``, assigned densely at corpus construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, Sequence
+
+from repro.core.errors import InvalidQueryError
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class SpatioTextualObject:
+    """A region-of-interest: MBR region + token set (Definition in Sec. 2.1).
+
+    Attributes:
+        oid: Dense integer identifier within its corpus.
+        region: The object's MBR ``o.R``.
+        tokens: The textual description ``o.T`` as a frozen token set.
+    """
+
+    oid: int
+    region: Rect
+    tokens: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.oid < 0:
+            raise ValueError("object oid must be non-negative")
+        # Normalise any iterable of tokens into a frozenset so equality and
+        # hashing behave as a value type.
+        if not isinstance(self.tokens, frozenset):
+            object.__setattr__(self, "tokens", frozenset(self.tokens))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        toks = ",".join(sorted(self.tokens)[:4])
+        more = "…" if len(self.tokens) > 4 else ""
+        return f"Object(o{self.oid}, {self.region.as_tuple()}, {{{toks}{more}}})"
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A spatio-textual similarity search query ``q = (R, T, τR, τT)``.
+
+    Attributes:
+        region: Query region ``q.R``.
+        tokens: Query token set ``q.T``.
+        tau_r: Spatial similarity threshold ``τR`` in [0, 1].
+        tau_t: Textual similarity threshold ``τT`` in [0, 1].
+    """
+
+    region: Rect
+    tokens: FrozenSet[str]
+    tau_r: float
+    tau_t: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tokens, frozenset):
+            object.__setattr__(self, "tokens", frozenset(self.tokens))
+        if not (0.0 <= self.tau_r <= 1.0):
+            raise InvalidQueryError(f"tau_r must be in [0, 1], got {self.tau_r}")
+        if not (0.0 <= self.tau_t <= 1.0):
+            raise InvalidQueryError(f"tau_t must be in [0, 1], got {self.tau_t}")
+
+    def with_thresholds(self, tau_r: float | None = None, tau_t: float | None = None) -> "Query":
+        """A copy with one or both thresholds replaced (used by sweeps)."""
+        return Query(
+            region=self.region,
+            tokens=self.tokens,
+            tau_r=self.tau_r if tau_r is None else tau_r,
+            tau_t=self.tau_t if tau_t is None else tau_t,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        toks = ",".join(sorted(self.tokens)[:4])
+        more = "…" if len(self.tokens) > 4 else ""
+        return (
+            f"Query({self.region.as_tuple()}, {{{toks}{more}}}, "
+            f"tau_r={self.tau_r}, tau_t={self.tau_t})"
+        )
+
+
+def make_corpus(
+    regions_and_tokens: Iterable[tuple[Rect, Iterable[str]]],
+) -> list[SpatioTextualObject]:
+    """Assign dense oids to ``(region, tokens)`` pairs, in input order.
+
+    Examples:
+        >>> objs = make_corpus([(Rect(0, 0, 1, 1), {"tea"})])
+        >>> objs[0].oid
+        0
+    """
+    return [
+        SpatioTextualObject(oid, region, frozenset(tokens))
+        for oid, (region, tokens) in enumerate(regions_and_tokens)
+    ]
+
+
+class Corpus(Sequence[SpatioTextualObject]):
+    """An immutable, oid-addressable collection of objects.
+
+    Wraps a list so that ``corpus[oid]`` is guaranteed to return the object
+    with that oid (the constructor validates density), which every filter
+    relies on when it turns candidate oids back into objects.
+    """
+
+    __slots__ = ("_objects",)
+
+    def __init__(self, objects: Sequence[SpatioTextualObject]) -> None:
+        for i, obj in enumerate(objects):
+            if obj.oid != i:
+                raise ValueError(
+                    f"Corpus requires dense oids in order; position {i} has oid {obj.oid}"
+                )
+        self._objects = list(objects)
+
+    def __getitem__(self, oid):  # type: ignore[override]
+        return self._objects[oid]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[SpatioTextualObject]:
+        return iter(self._objects)
+
+    def regions(self) -> list[Rect]:
+        return [obj.region for obj in self._objects]
+
+    def token_sets(self) -> list[FrozenSet[str]]:
+        return [obj.tokens for obj in self._objects]

@@ -1,0 +1,97 @@
+"""Spatial and textual similarity functions (Definitions 1 and 2).
+
+These are the *exact* similarities used in verification; the signature
+similarities used in filtering live with their signature schemes.  The
+module also exposes Dice/Cosine textual variants for the extension hooks
+the paper's conclusion calls out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Iterable
+
+from repro.geometry import Rect
+from repro.geometry.rect import spatial_dice as _spatial_dice
+from repro.geometry.rect import spatial_jaccard as _spatial_jaccard
+from repro.text.weights import TokenWeighter
+
+
+def spatial_similarity(a: Rect, b: Rect) -> float:
+    """Spatial Jaccard ``|a∩b| / |a∪b|`` (Definition 1)."""
+    return _spatial_jaccard(a, b)
+
+
+def spatial_dice_similarity(a: Rect, b: Rect) -> float:
+    """Spatial Dice ``2|a∩b| / (|a|+|b|)`` (extension mentioned in Sec. 2.1)."""
+    return _spatial_dice(a, b)
+
+
+def textual_similarity(
+    a: AbstractSet[str],
+    b: AbstractSet[str],
+    weighter: TokenWeighter,
+) -> float:
+    """Weighted Jaccard ``Σ_{t∈a∩b} w(t) / Σ_{t∈a∪b} w(t)`` (Definition 2).
+
+    Empty-vs-empty is defined as 1.0 (identical token sets), empty vs
+    non-empty as 0.0.  A corpus-wide token has weight 0 and is neutral.
+    """
+    if not a and not b:
+        return 1.0
+    inter = a & b
+    inter_weight = weighter.total_weight(inter)
+    union_weight = (
+        weighter.total_weight(a) + weighter.total_weight(b) - inter_weight
+    )
+    if union_weight <= 0.0:
+        # All tokens have zero idf (every token is in every object): the
+        # sets are indistinguishable to the weighting, call them identical.
+        return 1.0
+    return inter_weight / union_weight
+
+
+def textual_dice_similarity(
+    a: AbstractSet[str],
+    b: AbstractSet[str],
+    weighter: TokenWeighter,
+) -> float:
+    """Weighted Dice ``2Σ_{a∩b} w / (Σ_a w + Σ_b w)``."""
+    if not a and not b:
+        return 1.0
+    inter_weight = weighter.total_weight(a & b)
+    denom = weighter.total_weight(a) + weighter.total_weight(b)
+    if denom <= 0.0:
+        return 1.0
+    return 2.0 * inter_weight / denom
+
+
+def textual_cosine_similarity(
+    a: AbstractSet[str],
+    b: AbstractSet[str],
+    weighter: TokenWeighter,
+) -> float:
+    """Weighted Cosine ``Σ_{a∩b} w² / sqrt(Σ_a w² · Σ_b w²)``.
+
+    Treats each set as a binary vector scaled by token weights, the common
+    set-cosine used by the string-similarity literature the paper cites.
+    """
+    if not a and not b:
+        return 1.0
+    inter = a & b
+    num = sum(weighter.weight(t) ** 2 for t in inter)
+    denom_a = sum(weighter.weight(t) ** 2 for t in a)
+    denom_b = sum(weighter.weight(t) ** 2 for t in b)
+    denom = math.sqrt(denom_a * denom_b)
+    if denom <= 0.0:
+        return 1.0 if not (a ^ b) else 0.0
+    return num / denom
+
+
+def token_overlap_weight(
+    a: AbstractSet[str],
+    b: Iterable[str],
+    weighter: TokenWeighter,
+) -> float:
+    """``Σ_{t ∈ a∩b} w(t)`` — the textual *signature similarity* (Sec. 3.2)."""
+    return sum(weighter.weight(t) for t in b if t in a)

@@ -1,0 +1,89 @@
+"""Per-query instrumentation: what a filter probed, retrieved, verified.
+
+The paper evaluates methods by elapsed time *and* (in the technical
+report) candidate counts.  Every search method in this library fills a
+:class:`SearchStats` so benchmarks can report both, and so tests can assert
+filtering-power relationships (e.g. hybrid candidates ⊆ grid candidates).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Counters filled during one ``search`` call.
+
+    Attributes:
+        lists_probed: Inverted lists (or tree nodes) visited by the filter.
+        entries_retrieved: Posting entries read from those lists.
+        candidates: Size of the candidate set handed to verification.
+        results: Number of final answers.
+        filter_seconds: Wall time spent in the filter step.
+        verify_seconds: Wall time spent in the verification step.
+    """
+
+    lists_probed: int = 0
+    entries_retrieved: int = 0
+    candidates: int = 0
+    results: int = 0
+    filter_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.filter_seconds + self.verify_seconds
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's counters into this one (workload totals)."""
+        self.lists_probed += other.lists_probed
+        self.entries_retrieved += other.entries_retrieved
+        self.candidates += other.candidates
+        self.results += other.results
+        self.filter_seconds += other.filter_seconds
+        self.verify_seconds += other.verify_seconds
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Answer oids plus the instrumentation for one query.
+
+    Attributes:
+        answers: oids of objects satisfying both thresholds, ascending.
+        stats: The per-query counters.
+    """
+
+    answers: List[int]
+    stats: SearchStats
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in set(self.answers)
+
+
+class Stopwatch:
+    """Tiny perf_counter wrapper so timing reads as prose in the filters.
+
+    Examples:
+        >>> watch = Stopwatch()
+        >>> elapsed = watch.lap()   # seconds since construction or last lap
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last = time.perf_counter()
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        elapsed = now - self._last
+        self._last = now
+        return elapsed

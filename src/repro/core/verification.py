@@ -1,0 +1,74 @@
+"""The verification step (``Sig-Verify``, Figure 3).
+
+Verification computes the *exact* spatial and textual similarities of each
+candidate and keeps those meeting both thresholds.  It is the complexity
+bottleneck the signature filters exist to shrink (Section 6.3), so the
+implementation precomputes per-object token-weight totals once and does
+the per-candidate work with raw rectangle arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.stats import SearchStats
+from repro.text.weights import TokenWeighter
+
+
+class Verifier:
+    """Exact threshold checks over candidate oids.
+
+    Args:
+        corpus: Objects addressable by oid (``corpus[oid].oid == oid``).
+        weighter: Corpus idf statistics.
+    """
+
+    __slots__ = ("corpus", "weighter", "_token_totals")
+
+    def __init__(self, corpus: Sequence[SpatioTextualObject], weighter: TokenWeighter) -> None:
+        self.corpus = corpus
+        self.weighter = weighter
+        self._token_totals = [weighter.total_weight(obj.tokens) for obj in corpus]
+
+    def verify(self, query: Query, candidates: Iterable[int], stats: SearchStats | None = None) -> List[int]:
+        """oids among ``candidates`` with ``simR ≥ τR`` and ``simT ≥ τT``.
+
+        The spatial check runs first — it is a handful of float ops, while
+        the textual check intersects token sets.
+        """
+        q_rect = query.region
+        q_area = q_rect.area
+        q_tokens = query.tokens
+        q_total = self.weighter.total_weight(q_tokens)
+        tau_r, tau_t = query.tau_r, query.tau_t
+        weight = self.weighter.weight
+        totals = self._token_totals
+        corpus = self.corpus
+        answers: List[int] = []
+        for oid in candidates:
+            obj = corpus[oid]
+            region = obj.region
+            inter = q_rect.intersection_area(region)
+            union = q_area + region.area - inter
+            if union > 0.0:
+                if inter < tau_r * union:
+                    continue
+            elif q_rect != region and tau_r > 0.0:
+                # Two degenerate regions: similar only when identical.
+                continue
+            inter_w = sum(weight(t) for t in obj.tokens & q_tokens)
+            union_w = q_total + totals[oid] - inter_w
+            if union_w > 0.0:
+                if inter_w < tau_t * union_w:
+                    continue
+            # union_w == 0 means the token sets are indistinguishable to
+            # the weighting: simT = 1 ≥ any τT.
+            answers.append(oid)
+        if stats is not None:
+            stats.results = len(answers)
+        return answers
+
+    def verify_pair(self, query: Query, obj: SpatioTextualObject) -> bool:
+        """Exact check for one object (convenience for tests/examples)."""
+        return bool(self.verify(query, [obj.oid]))

@@ -1,0 +1,108 @@
+"""Shared spatial generation: clustered centres and area distributions.
+
+Both datasets place ROI centres in a Gaussian-mixture "cities" model —
+LBS data is overwhelmingly urban-clustered — and draw region areas from a
+piecewise log-linear inverse CDF, which lets each dataset match the
+paper's published area quantiles exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.geometry import Rect
+
+
+def sample_clustered_centers(
+    rng: np.random.Generator,
+    count: int,
+    space: Rect,
+    num_clusters: int,
+    cluster_spread_fraction: float = 0.01,
+    background_fraction: float = 0.05,
+) -> np.ndarray:
+    """``count`` (x, y) centres from a Zipf-weighted Gaussian mixture.
+
+    Args:
+        rng: Source of randomness.
+        count: Number of centres.
+        space: Bounding space; centres are clipped inside it.
+        num_clusters: Number of "cities".
+        cluster_spread_fraction: City std-dev as a fraction of space side.
+        background_fraction: Share of centres placed uniformly (rural).
+
+    Returns:
+        ``(count, 2)`` array of centres.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if num_clusters < 1:
+        raise ConfigurationError("num_clusters must be >= 1")
+    centers = rng.uniform(
+        [space.x1, space.y1], [space.x2, space.y2], size=(num_clusters, 2)
+    )
+    # City sizes follow a Zipf law too (a few metropolises, many towns).
+    weights = 1.0 / np.arange(1, num_clusters + 1, dtype=np.float64)
+    weights /= weights.sum()
+    assignment = rng.choice(num_clusters, size=count, p=weights)
+    spread = cluster_spread_fraction * min(space.width, space.height)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(count, 2))
+    background = rng.random(count) < background_fraction
+    uniform_points = rng.uniform([space.x1, space.y1], [space.x2, space.y2], size=(count, 2))
+    points[background] = uniform_points[background]
+    np.clip(points[:, 0], space.x1, space.x2, out=points[:, 0])
+    np.clip(points[:, 1], space.y1, space.y2, out=points[:, 1])
+    return points
+
+
+def sample_log_area(
+    rng: np.random.Generator,
+    count: int,
+    quantile_knots: Sequence[Tuple[float, float]],
+) -> np.ndarray:
+    """Areas from a piecewise log-linear inverse CDF.
+
+    Args:
+        rng: Source of randomness.
+        count: Number of areas.
+        quantile_knots: ``(probability, log10(area))`` pairs with
+            probabilities strictly increasing from 0.0 to 1.0 — e.g. the
+            paper's Twitter quantiles "(0.044, −4), (0.297, 0), …".
+
+    Returns:
+        ``count`` areas (same units as ``10**log10_area``).
+    """
+    probs = np.array([p for p, _ in quantile_knots], dtype=np.float64)
+    logs = np.array([a for _, a in quantile_knots], dtype=np.float64)
+    if probs[0] != 0.0 or probs[-1] != 1.0 or np.any(np.diff(probs) <= 0.0):
+        raise ConfigurationError(
+            "quantile_knots probabilities must increase strictly from 0.0 to 1.0"
+        )
+    u = rng.random(count)
+    return 10.0 ** np.interp(u, probs, logs)
+
+
+def rect_from_center_area(
+    cx: float,
+    cy: float,
+    area: float,
+    aspect: float,
+    space: Rect,
+) -> Rect:
+    """A rectangle of the given area and aspect ratio, clamped into space.
+
+    ``aspect`` is width/height; clamping shifts (not shrinks) the rect so
+    the area distribution survives near the space boundary.
+    """
+    width = float(np.sqrt(area * aspect))
+    height = float(np.sqrt(area / aspect)) if aspect > 0 else 0.0
+    width = min(width, space.width)
+    height = min(height, space.height)
+    x1 = cx - width / 2.0
+    y1 = cy - height / 2.0
+    x1 = min(max(x1, space.x1), space.x2 - width)
+    y1 = min(max(y1, space.y1), space.y2 - height)
+    return Rect(x1, y1, x1 + width, y1 + height)

@@ -1,0 +1,143 @@
+"""Incremental updates: a main + delta index pair (LSM-lite).
+
+SEAL's signatures are corpus-dependent (idf weights, ``count(g)`` cell
+order, HSS partitions), so the static indexes do not take inserts.  The
+standard systems answer is a small write-optimised side structure:
+
+* inserts land in an unindexed *delta* pool, scanned exactly at query
+  time (the pool is small, so this is cheap);
+* when the pool outgrows ``rebuild_threshold`` (a fraction of the main
+  corpus), the engine merges pool into corpus and rebuilds the static
+  index — amortised O(build / threshold) per insert;
+* searches merge main-index answers with delta-pool answers.
+
+Semantics note: between rebuilds, idf weights are those of the *main*
+corpus (new tokens get max idf).  Similarities therefore drift slightly
+from a from-scratch build until the next merge — the same trade every
+deferred-maintenance text index makes — and converge exactly at rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.engine import build_method
+from repro.core.method import SearchMethod
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.stats import SearchResult, SearchStats, Stopwatch
+from repro.core.verification import Verifier
+from repro.geometry import Rect
+from repro.text.weights import TokenWeighter
+
+
+class UpdatableSealSearch:
+    """A SEAL engine that accepts inserts.
+
+    Args:
+        data: Initial ``(region, tokens)`` pairs.
+        method: Underlying static method name (default ``"seal"``).
+        rebuild_threshold: Rebuild when the delta pool exceeds this
+            fraction of the main corpus (default 10%).
+        **params: Passed to the method constructor.
+
+    Examples:
+        >>> engine = UpdatableSealSearch([(Rect(0, 0, 1, 1), {"tea"})])
+        >>> oid = engine.insert(Rect(2, 2, 3, 3), {"coffee"})
+        >>> len(engine)
+        2
+    """
+
+    def __init__(
+        self,
+        data: Iterable[tuple[Rect, Iterable[str]]],
+        method: str = "seal",
+        *,
+        rebuild_threshold: float = 0.1,
+        **params,
+    ) -> None:
+        if rebuild_threshold <= 0.0:
+            raise ValueError("rebuild_threshold must be positive")
+        self._method_name = method
+        self._params = params
+        self.rebuild_threshold = rebuild_threshold
+        self._objects: List[SpatioTextualObject] = [
+            SpatioTextualObject(oid, region, frozenset(tokens))
+            for oid, (region, tokens) in enumerate(data)
+        ]
+        if not self._objects:
+            raise ValueError("UpdatableSealSearch requires at least one initial object")
+        self._delta: List[SpatioTextualObject] = []
+        self.rebuilds = 0
+        self._build()
+
+    def _build(self) -> None:
+        self.weighter = TokenWeighter(obj.tokens for obj in self._objects)
+        self.main: SearchMethod = build_method(
+            self._objects, self._method_name, self.weighter, **self._params
+        )
+        # Delta verification reuses main-corpus idf weights (see module
+        # docstring); the verifier is rebuilt whenever the pool changes.
+        self._delta_verifier: Verifier | None = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, region: Rect, tokens: Iterable[str]) -> int:
+        """Add one object; returns its oid (stable across the rebuild)."""
+        oid = len(self._objects) + len(self._delta)
+        self._delta.append(SpatioTextualObject(oid, region, frozenset(tokens)))
+        self._delta_verifier = None
+        if len(self._delta) > self.rebuild_threshold * len(self._objects):
+            self._merge()
+        return oid
+
+    def _merge(self) -> None:
+        self._objects.extend(self._delta)
+        self._delta.clear()
+        self.rebuilds += 1
+        self._build()
+
+    def flush(self) -> None:
+        """Force the pending delta pool into the static index."""
+        if self._delta:
+            self._merge()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, region: Rect, tokens: Iterable[str], tau_r: float, tau_t: float) -> SearchResult:
+        """Merged main + delta search; answers sorted by oid."""
+        query = Query(region=region, tokens=frozenset(tokens), tau_r=tau_r, tau_t=tau_t)
+        result = self.main.search(query)
+        if not self._delta:
+            return result
+        watch = Stopwatch()
+        if self._delta_verifier is None:
+            # The pool verifier addresses pool objects by position.
+            reindexed = [
+                SpatioTextualObject(i, obj.region, obj.tokens)
+                for i, obj in enumerate(self._delta)
+            ]
+            self._delta_verifier = Verifier(reindexed, self.weighter)
+        hits = self._delta_verifier.verify(query, range(len(self._delta)))
+        answers = sorted(result.answers + [self._delta[i].oid for i in hits])
+        stats: SearchStats = result.stats
+        stats.candidates += len(self._delta)
+        stats.verify_seconds += watch.lap()
+        stats.results = len(answers)
+        return SearchResult(answers=answers, stats=stats)
+
+    def object(self, oid: int) -> SpatioTextualObject:
+        if oid < len(self._objects):
+            return self._objects[oid]
+        return self._delta[oid - len(self._objects)]
+
+    def __len__(self) -> int:
+        return len(self._objects) + len(self._delta)
+
+    @property
+    def pending(self) -> int:
+        """Objects currently in the delta pool."""
+        return len(self._delta)

@@ -1,0 +1,21 @@
+"""SEAL's signature-based filter methods (Sections 3–5).
+
+* :class:`~repro.filters.token_filter.TokenFilter` — textual signatures
+  (``TokenFilter`` in the experiments).
+* :class:`~repro.filters.grid_filter.GridFilter` — grid-based spatial
+  signatures with threshold-aware pruning (``GridFilter``).
+* :class:`~repro.filters.hybrid_filter.HybridFilter` — hash-based hybrid
+  ``(token, cell)`` signatures (``HybridFilter``).
+* :class:`~repro.filters.hierarchical_filter.HierarchicalFilter` — the
+  full SEAL method with HSS-selected per-token hierarchical grids.
+
+Each accepts ``prefix_pruning=False`` to fall back to the plain
+``Sig-Filter`` (no prefixes, no bounds) for ablation, where applicable.
+"""
+
+from repro.filters.grid_filter import GridFilter
+from repro.filters.hierarchical_filter import HierarchicalFilter
+from repro.filters.hybrid_filter import HybridFilter
+from repro.filters.token_filter import TokenFilter
+
+__all__ = ["GridFilter", "HierarchicalFilter", "HybridFilter", "TokenFilter"]

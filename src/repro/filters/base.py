@@ -1,0 +1,140 @@
+"""Shared machinery for single-scheme signature filters.
+
+``TokenFilter`` and ``GridFilter`` are the same algorithm instantiated
+with different signature schemes; :class:`SingleSchemeFilter` implements
+that algorithm once, in two variants:
+
+* **Sig-Filter+** (default, Figure 6): postings carry Lemma 3 suffix
+  bounds, the query probes only its Lemma 2 prefix, and each probed list
+  returns only the head whose bound reaches the threshold.
+* **Sig-Filter** (``prefix_pruning=False``, Figure 3): postings carry raw
+  element weights, the query probes its *whole* signature, and the filter
+  accumulates the exact signature similarity ``Σ min(w(s|q), w(s|o))``,
+  keeping objects that reach the threshold.  Kept for the pruning
+  ablation — it shows precisely what the `+` buys.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Collection, List, Protocol, Sequence, Tuple
+
+from repro.core.method import SearchMethod
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.stats import SearchStats
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingList
+from repro.index.storage import IndexSizeReport, measure_index
+from repro.signatures.prefix import select_prefix, suffix_bounds
+from repro.text.weights import TokenWeighter
+
+
+class SignatureScheme(Protocol):
+    """What a signature scheme must provide (see :mod:`repro.signatures`)."""
+
+    element_kind: str
+
+    def object_signature(self, obj: SpatioTextualObject) -> List[Tuple[object, float]]: ...
+
+    def query_signature(self, query: Query) -> List[Tuple[object, float]]: ...
+
+    def threshold(self, query: Query) -> float: ...
+
+
+class SingleSchemeFilter(SearchMethod):
+    """Sig-Filter(+) over one signature scheme.
+
+    Args:
+        objects: The corpus.
+        scheme: Signature scheme (textual or grid).
+        weighter: Corpus idf statistics (built if omitted).
+        prefix_pruning: True → Sig-Filter+ (threshold-aware); False →
+            plain Sig-Filter.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[SpatioTextualObject],
+        scheme: SignatureScheme,
+        weighter: TokenWeighter | None = None,
+        *,
+        prefix_pruning: bool = True,
+    ) -> None:
+        super().__init__(objects, weighter)
+        self.scheme = scheme
+        self.prefix_pruning = prefix_pruning
+        self.index: InvertedIndex = InvertedIndex(PostingList)
+        for obj in self.corpus:
+            signature = scheme.object_signature(obj)
+            if prefix_pruning:
+                bounds = suffix_bounds([w for _, w in signature])
+                for (element, _), bound in zip(signature, bounds):
+                    self.index.list_for(element).add(obj.oid, bound)
+            else:
+                for element, weight in signature:
+                    self.index.list_for(element).add(obj.oid, weight)
+        self.index.freeze()
+
+    # ------------------------------------------------------------------
+    # Filter step
+    # ------------------------------------------------------------------
+
+    def _is_degenerate(self, query: Query) -> bool:
+        """True when the scheme cannot see some legitimate answers.
+
+        Subclasses refine this; the safe default is a vacuous (≤ 0)
+        derived threshold, under which objects sharing *no* signature
+        element with the query may still satisfy the similarity predicate.
+        """
+        return self.scheme.threshold(query) <= 0.0
+
+    def candidates(self, query: Query, stats: SearchStats) -> Collection[int]:
+        if self._is_degenerate(query):
+            return self.all_oids()
+        threshold = self.scheme.threshold(query)
+        signature = self.scheme.query_signature(query)
+        if self.prefix_pruning:
+            return self._candidates_prefix(signature, threshold, stats)
+        return self._candidates_plain(signature, threshold, stats)
+
+    def _candidates_prefix(
+        self,
+        signature: Sequence[Tuple[object, float]],
+        threshold: float,
+        stats: SearchStats,
+    ) -> Collection[int]:
+        """Sig-Filter+: union of threshold-bounded heads over the prefix."""
+        prefix_len = select_prefix([w for _, w in signature], threshold)
+        out: set[int] = set()
+        probe = self.index.probe
+        for element, _ in signature[:prefix_len]:
+            retrieved = probe(element, threshold)
+            stats.lists_probed += 1
+            stats.entries_retrieved += len(retrieved)
+            out.update(retrieved)
+        return out
+
+    def _candidates_plain(
+        self,
+        signature: Sequence[Tuple[object, float]],
+        threshold: float,
+        stats: SearchStats,
+    ) -> Collection[int]:
+        """Sig-Filter: accumulate exact signature similarity over all lists."""
+        acc: defaultdict[int, float] = defaultdict(float)
+        for element, query_weight in signature:
+            plist = self.index.get(element)
+            if plist is None:
+                continue
+            stats.lists_probed += 1
+            for oid, object_weight in plist:
+                stats.entries_retrieved += 1
+                acc[oid] += object_weight if object_weight < query_weight else query_weight
+        return [oid for oid, sim in acc.items() if sim >= threshold]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def index_size(self) -> IndexSizeReport:
+        return measure_index(self.index, bounds_per_posting=1)

@@ -1,0 +1,181 @@
+"""``HierarchicalFilter`` — SEAL's full method (Section 5.2).
+
+Instead of one fixed-granularity grid for every token, each token gets
+its own HSS-selected hierarchical partition ``G_t`` of at most ``mt``
+cells: small-region tokens get fine cells where their objects live,
+large-region tokens get coarse cells that avoid useless signature
+elements.  The filtering algorithm is ``Hybrid-Sig-Filter+`` run
+per-token against that token's grids (Example 5 / Figure 10).
+
+This is the method labelled **SEAL** in the paper's method-comparison
+experiments (Figures 16–17).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Collection, Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.method import SearchMethod
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.stats import SearchStats
+from repro.geometry import Rect
+from repro.geometry.rect import mbr_of
+from repro.grid.hierarchy import GridHierarchy, HierCell
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import DualBoundPostingList
+from repro.index.storage import IndexSizeReport, measure_index
+from repro.signatures.hierarchical import TokenGrids, select_token_grids
+from repro.signatures.prefix import select_prefix, suffix_bounds
+from repro.signatures.textual import TextualScheme
+from repro.text.weights import TokenWeighter
+
+
+class HierarchicalFilter(SearchMethod):
+    """Hierarchical hybrid signature filtering (the **SEAL** method).
+
+    Args:
+        objects: The corpus.
+        mt: Per-token grid budget (max hierarchical cells per token).
+            With ``budget_scaling`` this becomes the *cap*.
+        max_level: Finest grid-tree level HSS may refine to; level ``l``
+            cells have side ``space_side / 2^l``.
+        weighter: Corpus idf statistics (built if omitted).
+        space: Grid-tree space; defaults to the corpus MBR.
+        min_objects: Tokens appearing in at most this many objects keep
+            the trivial root partition (their lists are short already).
+        budget_scaling: Optional α; when set, token ``t`` gets budget
+            ``clamp(round(α·|I(t)|), 4, mt)`` instead of a flat ``mt``.
+            This realises Section 5.2's *global* index-size constraint:
+            frequent tokens have long inverted lists and earn
+            proportionally more grid elements (mirroring how the hash
+            scheme's element count scales with |I(t)|), which is what
+            lets hierarchical signatures match fixed-granularity
+            filtering power at a smaller total budget.
+
+    Raises:
+        ConfigurationError: On an empty corpus or ``mt < 1``.
+    """
+
+    name = "seal"
+
+    def __init__(
+        self,
+        objects: Sequence[SpatioTextualObject],
+        mt: int = 32,
+        max_level: int = 8,
+        weighter: TokenWeighter | None = None,
+        *,
+        space: Rect | None = None,
+        min_objects: int = 4,
+        budget_scaling: float | None = None,
+    ) -> None:
+        super().__init__(objects, weighter)
+        if mt < 1:
+            raise ConfigurationError(f"mt must be >= 1, got {mt}")
+        if budget_scaling is not None and budget_scaling <= 0.0:
+            raise ConfigurationError(
+                f"budget_scaling must be positive, got {budget_scaling}"
+            )
+        if not len(self.corpus):
+            raise ConfigurationError("HierarchicalFilter requires a non-empty corpus")
+        self.mt = mt
+        self.budget_scaling = budget_scaling
+        self.textual = TextualScheme(self.weighter)
+        if space is None:
+            space = mbr_of([obj.region for obj in self.corpus])
+            if space.width <= 0.0 or space.height <= 0.0:
+                space = space.buffer(max(space.width, space.height, 1.0) * 0.5)
+        self.hierarchy = GridHierarchy(space, max_level)
+
+        # Pass 1: group object regions per token (the paper's I(t)).
+        per_token_regions: Dict[str, List[Rect]] = defaultdict(list)
+        for obj in self.corpus:
+            for token in obj.tokens:
+                per_token_regions[token].append(obj.region)
+
+        # Pass 2: HSS-Greedy per token.
+        def token_budget(list_size: int) -> int:
+            if budget_scaling is None:
+                return mt
+            return max(4, min(mt, round(budget_scaling * list_size)))
+
+        self.token_grids: Dict[str, TokenGrids] = {
+            token: select_token_grids(
+                regions, self.hierarchy, token_budget(len(regions)), min_objects=min_objects
+            )
+            for token, regions in per_token_regions.items()
+        }
+
+        # Pass 3: build the (token, cell) inverted index with dual bounds.
+        self.index: InvertedIndex = InvertedIndex(DualBoundPostingList)
+        for obj in self.corpus:
+            token_sig = self.textual.object_signature(obj)
+            token_bounds = suffix_bounds([w for _, w in token_sig])
+            for (token, _), t_bound in zip(token_sig, token_bounds):
+                cells = self._region_cells(self.token_grids[token], obj.region)
+                cell_bounds = suffix_bounds([w for _, w in cells])
+                for (cell, _), r_bound in zip(cells, cell_bounds):
+                    self.index.list_for((token, cell)).add(obj.oid, r_bound, t_bound)
+        self.index.freeze()
+
+    @staticmethod
+    def _region_cells(grids: TokenGrids, region: Rect) -> List[Tuple[HierCell, float]]:
+        """Cells of one token's partition intersecting ``region``, in the
+        token's global order, weighted by intersection area.
+
+        ``G_t`` holds at most ``mt`` cells, so a linear scan with inlined
+        rectangle arithmetic beats any spatial structure here — and this
+        runs once per (object, token) pair at build time.
+        """
+        rx1, ry1, rx2, ry2 = region.x1, region.y1, region.x2, region.y2
+        out: List[Tuple[HierCell, float]] = []
+        for cell, (bx1, by1, bx2, by2) in zip(grids.cells, grids.boxes):
+            if rx1 <= bx2 and bx1 <= rx2 and ry1 <= by2 and by1 <= ry2:
+                dx = (bx2 if bx2 < rx2 else rx2) - (bx1 if bx1 > rx1 else rx1)
+                dy = (by2 if by2 < ry2 else ry2) - (by1 if by1 > ry1 else ry1)
+                out.append((cell, dx * dy if dx > 0.0 and dy > 0.0 else 0.0))
+        return out
+
+    # ------------------------------------------------------------------
+    # Filter step
+    # ------------------------------------------------------------------
+
+    def _is_degenerate(self, query: Query) -> bool:
+        return self.textual.threshold(query) <= 0.0 or query.tau_r <= 0.0
+
+    def candidates(self, query: Query, stats: SearchStats) -> Collection[int]:
+        if self._is_degenerate(query):
+            return self.all_oids()
+        c_t = self.textual.threshold(query)
+        c_r = query.tau_r * query.region.area
+        token_sig = self.textual.query_signature(query)
+        token_prefix = token_sig[: select_prefix([w for _, w in token_sig], c_t)]
+        out: set[int] = set()
+        index = self.index
+        for token, _ in token_prefix:
+            grids = self.token_grids.get(token)
+            if grids is None:
+                # No object contains this token: nothing to probe, and no
+                # answer can hinge on it (it contributes weight only to
+                # the union, which the threshold already accounts for).
+                continue
+            cells = self._region_cells(grids, query.region)
+            spatial_prefix = cells[: select_prefix([w for _, w in cells], c_r)]
+            for cell, _ in spatial_prefix:
+                plist = index.get((token, cell))
+                if plist is None:
+                    continue
+                retrieved, scanned = plist.retrieve(c_r, c_t)
+                stats.lists_probed += 1
+                stats.entries_retrieved += scanned
+                out.update(retrieved)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def index_size(self) -> IndexSizeReport:
+        return measure_index(self.index, bounds_per_posting=2)

@@ -1,0 +1,10 @@
+"""Exact rectangle (MBR) algebra used throughout SEAL.
+
+The paper represents every region — objects, queries, grid cells, R-tree
+nodes — as a minimum bounding rectangle.  This subpackage provides the one
+geometric primitive everything else builds on.
+"""
+
+from repro.geometry.rect import Rect
+
+__all__ = ["Rect"]

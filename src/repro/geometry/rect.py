@@ -1,0 +1,280 @@
+"""Axis-aligned rectangles (MBRs).
+
+SEAL models every spatial extent — object regions, query regions, grid
+cells, and R-tree node boxes — as a *minimum bounding rectangle* given by
+its bottom-left and top-right corners.  All the spatial reasoning in the
+paper reduces to four rectangle operations: area, intersection test,
+intersection area, and union (bounding-box) construction.  We implement
+them exactly with plain floats; there is no tolerance fudging anywhere, so
+the filter lemmas (which rely on ``min(w(g|q), w(g|o))`` being a true upper
+bound of ``|q∩o∩g|``) hold bit-for-bit.
+
+Rectangles are closed sets: two rectangles sharing only a boundary edge
+*touch* (``intersects`` is True) but their intersection area is zero.  The
+paper's grid signatures use open-interval semantics for cell assignment so
+that a region lying exactly on a grid line is not assigned to both sides;
+that policy lives in :mod:`repro.grid`, not here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[x1, x2] × [y1, y2]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed: a point
+    ROI is simply a zero-area rectangle, which matches how the Twitter
+    dataset treats users whose tweets all share one location.
+
+    Attributes:
+        x1: Left edge (must be ``<= x2``).
+        y1: Bottom edge (must be ``<= y2``).
+        x2: Right edge.
+        y2: Top edge.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.x1) or math.isnan(self.y1) or math.isnan(self.x2) or math.isnan(self.y2):
+            raise ValueError("Rect coordinates must not be NaN")
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"Rect requires x1 <= x2 and y1 <= y2, got ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[tuple[float, float]]) -> "Rect":
+        """Build the MBR of a non-empty point cloud.
+
+        This is how the Twitter dataset derives a user's active region from
+        her tweet locations (Section 6.1 of the paper).
+
+        Raises:
+            ValueError: If ``points`` is empty.
+        """
+        iterator = iter(points)
+        try:
+            x, y = next(iterator)
+        except StopIteration:
+            raise ValueError("Rect.from_points requires at least one point") from None
+        x1 = x2 = x
+        y1 = y2 = y
+        for px, py in iterator:
+            if px < x1:
+                x1 = px
+            elif px > x2:
+                x2 = px
+            if py < y1:
+                y1 = py
+            elif py > y2:
+                y2 = py
+        return cls(x1, y1, x2, y2)
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle centred on ``(cx, cy)``.
+
+        Raises:
+            ValueError: If ``width`` or ``height`` is negative.
+        """
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(cx - width / 2.0, cy - height / 2.0, cx + width / 2.0, cy + height / 2.0)
+
+    # ------------------------------------------------------------------
+    # Scalar properties
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        """Area ``|R|`` — the paper's ``|·|`` operator on regions."""
+        return (self.x2 - self.x1) * (self.y2 - self.y1)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def margin(self) -> float:
+        """Perimeter half-sum (width + height), used by R-tree heuristics."""
+        return (self.x2 - self.x1) + (self.y2 - self.y1)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least one point."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the rectangles share *positive area* (not just a boundary)."""
+        return (
+            self.x1 < other.x2
+            and other.x1 < self.x2
+            and self.y1 < other.y2
+            and other.y1 < self.y2
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside ``self`` (closed semantics)."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The intersection rectangle ``self ∩ other``, or None if disjoint.
+
+        A shared edge yields a degenerate (zero-area) rectangle rather than
+        None, consistent with closed-set semantics.
+        """
+        x1 = self.x1 if self.x1 > other.x1 else other.x1
+        y1 = self.y1 if self.y1 > other.y1 else other.y1
+        x2 = self.x2 if self.x2 < other.x2 else other.x2
+        y2 = self.y2 if self.y2 < other.y2 else other.y2
+        if x1 > x2 or y1 > y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def intersection_area(self, other: "Rect") -> float:
+        """``|self ∩ other|`` — the paper's spatial overlap, without allocating."""
+        dx = min(self.x2, other.x2) - max(self.x1, other.x1)
+        if dx <= 0.0:
+            return 0.0
+        dy = min(self.y2, other.y2) - max(self.y1, other.y1)
+        if dy <= 0.0:
+            return 0.0
+        return dx * dy
+
+    def union_area(self, other: "Rect") -> float:
+        """``|self ∪ other| = |self| + |other| − |self ∩ other|`` (Definition 1)."""
+        return self.area + other.area - self.intersection_area(other)
+
+    def union(self, other: "Rect") -> "Rect":
+        """The MBR enclosing both rectangles (R-tree node expansion)."""
+        return Rect(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth of ``self`` needed to also cover ``other`` (R-tree ChooseLeaf)."""
+        return self.union(other).area - self.area
+
+    def buffer(self, amount: float) -> "Rect":
+        """Grow (or shrink, for negative ``amount``) every side by ``amount``.
+
+        Shrinking collapses to the centre point rather than inverting.
+        """
+        x1, y1 = self.x1 - amount, self.y1 - amount
+        x2, y2 = self.x2 + amount, self.y2 + amount
+        if x1 > x2:
+            x1 = x2 = (x1 + x2) / 2.0
+        if y1 > y2:
+            y1 = y2 = (y1 + y2) / 2.0
+        return Rect(x1, y1, x2, y2)
+
+    def translate(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def scale(self, factor: float) -> "Rect":
+        """Scale about the centre by ``factor >= 0``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        cx, cy = self.center
+        half_w = (self.x2 - self.x1) * factor / 2.0
+        half_h = (self.y2 - self.y1) * factor / 2.0
+        return Rect(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    # ------------------------------------------------------------------
+    # Iteration / conversion helpers
+    # ------------------------------------------------------------------
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.x1, self.y1, self.x2, self.y2))
+
+
+def mbr_of(rects: Sequence[Rect]) -> Rect:
+    """The MBR of a non-empty collection of rectangles.
+
+    Used to derive the *entire space* ``R`` that the grid signatures
+    partition (Section 4.1: "the MBR of the regions of all objects").
+
+    Raises:
+        ValueError: If ``rects`` is empty.
+    """
+    if not rects:
+        raise ValueError("mbr_of requires at least one rectangle")
+    x1 = min(r.x1 for r in rects)
+    y1 = min(r.y1 for r in rects)
+    x2 = max(r.x2 for r in rects)
+    y2 = max(r.y2 for r in rects)
+    return Rect(x1, y1, x2, y2)
+
+
+def spatial_jaccard(a: Rect, b: Rect) -> float:
+    """Spatial Jaccard similarity (Definition 1): ``|a∩b| / |a∪b|``.
+
+    Two degenerate rectangles have union area 0; we define their similarity
+    as 1.0 when they are identical and 0.0 otherwise, which keeps the
+    similarity total and the thresholds meaningful for point ROIs.
+    """
+    inter = a.intersection_area(b)
+    union = a.area + b.area - inter
+    if union <= 0.0:
+        return 1.0 if a == b else 0.0
+    return inter / union
+
+
+def spatial_dice(a: Rect, b: Rect) -> float:
+    """Spatial Dice similarity: ``2|a∩b| / (|a| + |b|)``.
+
+    Mentioned in the paper ("our method can be easily extended to other
+    overlap-based functions, such as Dice Similarity").
+    """
+    inter = a.intersection_area(b)
+    denom = a.area + b.area
+    if denom <= 0.0:
+        return 1.0 if a == b else 0.0
+    return 2.0 * inter / denom

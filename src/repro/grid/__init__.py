@@ -1,0 +1,19 @@
+"""Grid substrate: space partitions used as spatial signatures (Section 4).
+
+SEAL re-purposes classic grid decompositions (Grid File / EXCELL lineage)
+as *signature generators*: a region's spatial signature is the set of grid
+cells it intersects, weighted by intersection area.
+
+* :class:`~repro.grid.uniform.UniformGrid` — one 2^l × 2^l (or p × p)
+  partition of the whole space (Section 4.1).
+* :class:`~repro.grid.hierarchy.GridHierarchy` — the level-indexed grid
+  tree behind granularity selection (Section 4.3, Figure 7) and the
+  hierarchical hybrid signatures (Section 5.2, Figure 10).
+* :mod:`~repro.grid.granularity` — the probabilistic cost model and the
+  benefit-threshold level-selection algorithm (Section 4.3).
+"""
+
+from repro.grid.hierarchy import GridHierarchy, HierCell
+from repro.grid.uniform import UniformGrid
+
+__all__ = ["GridHierarchy", "HierCell", "UniformGrid"]

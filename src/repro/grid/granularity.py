@@ -1,0 +1,164 @@
+"""Grid granularity selection via the probabilistic cost model (Section 4.3).
+
+The expected cost of answering a query on grid set ``G`` is
+
+    cost(G) = π1 · Σ_g P(g)·|I(g)|  +  π2 · |C|            (Equation 4)
+
+where ``P(g)`` is the probability a workload query touches cell ``g``,
+``|I(g)|`` the inverted-list length (worst case: every probed entry is
+retrieved), and ``|C|`` the average candidate count.  The paper reduces
+granularity selection to picking the level ``l*`` of a grid tree: walk the
+levels top-down and stop when the benefit ``B(l, l+1) = cost(G_l) −
+cost(G_{l+1})`` drops below a threshold ``B`` (Lemma 4 guarantees such a
+level exists).
+
+Estimating ``|C|`` analytically is hard (the paper defers it to future
+work), so :func:`select_granularity` accepts an optional
+``candidate_counter`` callback — benchmarks pass one that actually runs a
+grid filter — and otherwise selects on the filtering cost alone, exactly
+the ``B_F`` analysis the paper carries out.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.objects import Query, SpatioTextualObject
+from repro.geometry import Rect
+from repro.grid.hierarchy import GridHierarchy
+
+
+@dataclass(frozen=True, slots=True)
+class LevelCost:
+    """Expected per-query cost of one grid-tree level.
+
+    Attributes:
+        level: Grid-tree level (granularity ``2^level``).
+        granularity: Cells per side at this level.
+        filter_cost: ``π1 · Σ_g P(g)·|I(g)|``.
+        verify_cost: ``π2 · |C|`` when a candidate counter was supplied,
+            else 0.0 (filter-only analysis).
+    """
+
+    level: int
+    granularity: int
+    filter_cost: float
+    verify_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.filter_cost + self.verify_cost
+
+
+@dataclass(frozen=True, slots=True)
+class GranularitySelection:
+    """Outcome of the level-walk: the chosen level plus the cost trace."""
+
+    level: int
+    granularity: int
+    costs: Sequence[LevelCost]
+
+
+def level_filter_cost(
+    regions: Sequence[Rect],
+    query_regions: Sequence[Rect],
+    hierarchy: GridHierarchy,
+    level: int,
+    pi1: float = 1.0,
+) -> float:
+    """``π1 · Σ_g P(g)·|I(g)}`` for one level (worst-case retrieval).
+
+    ``P(g)`` is estimated as the fraction of workload queries whose region
+    intersects ``g``; ``|I(g)|`` as the number of object regions
+    intersecting ``g``.
+    """
+    if not query_regions:
+        raise ConfigurationError("level_filter_cost requires a non-empty query workload")
+    grid = hierarchy.level_grid(level)
+    list_sizes: Counter[int] = Counter()
+    for region in regions:
+        for cell in grid.cells_overlapping(region):
+            list_sizes[cell] += 1
+    probe_counts: Counter[int] = Counter()
+    for region in query_regions:
+        for cell in grid.cells_overlapping(region):
+            probe_counts[cell] += 1
+    num_queries = len(query_regions)
+    cost = 0.0
+    for cell, probes in probe_counts.items():
+        size = list_sizes.get(cell)
+        if size:
+            cost += (probes / num_queries) * size
+    return pi1 * cost
+
+
+def select_granularity(
+    objects: Iterable[SpatioTextualObject] | Sequence[Rect],
+    workload: Iterable[Query] | Sequence[Rect],
+    *,
+    max_level: int = 10,
+    benefit_threshold: float = 1.0,
+    pi1: float = 1.0,
+    pi2: float = 5.0,
+    candidate_counter: Callable[[int], float] | None = None,
+) -> GranularitySelection:
+    """Walk the grid tree top-down and pick the first benefit-starved level.
+
+    Args:
+        objects: Corpus objects (or bare regions) to index.
+        workload: Representative queries (or bare regions) — Section 4.3's
+            query workload ``Q``.
+        max_level: Deepest level considered (granularity ``2^max_level``).
+        benefit_threshold: The paper's ``B > 0``; the walk stops at the
+            first level whose refinement benefit falls below it.
+        pi1: Cost of retrieving + merging one posting (π1).
+        pi2: Cost of verifying one candidate (π2).
+        candidate_counter: Optional ``level -> average |C|`` callback; when
+            given, verification cost π2·|C| joins the model (full
+            Equation 4), otherwise only the filtering benefit ``B_F``
+            drives the stop rule, as in the paper's analysis of Lemma 4.
+
+    Returns:
+        The chosen level and the cost estimates of every level visited.
+
+    Raises:
+        ConfigurationError: On an empty corpus/workload or bad threshold.
+    """
+    if benefit_threshold <= 0.0:
+        raise ConfigurationError("benefit_threshold must be positive (paper requires B > 0)")
+    regions = [obj.region if isinstance(obj, SpatioTextualObject) else obj for obj in objects]
+    query_regions = [q.region if isinstance(q, Query) else q for q in workload]
+    if not regions:
+        raise ConfigurationError("select_granularity requires a non-empty corpus")
+    if not query_regions:
+        raise ConfigurationError("select_granularity requires a non-empty workload")
+
+    from repro.geometry.rect import mbr_of  # local import to keep module deps one-way
+
+    space = mbr_of(regions)
+    if space.width <= 0.0 or space.height <= 0.0:
+        space = space.buffer(max(space.width, space.height, 1.0) * 0.5)
+    hierarchy = GridHierarchy(space, max_level)
+
+    costs: List[LevelCost] = []
+
+    def cost_at(level: int) -> LevelCost:
+        filter_cost = level_filter_cost(regions, query_regions, hierarchy, level, pi1)
+        verify_cost = pi2 * candidate_counter(level) if candidate_counter is not None else 0.0
+        return LevelCost(level, 1 << level, filter_cost, verify_cost)
+
+    current = cost_at(0)
+    costs.append(current)
+    chosen = 0
+    for level in range(1, max_level + 1):
+        nxt = cost_at(level)
+        costs.append(nxt)
+        benefit = current.total - nxt.total
+        if benefit < benefit_threshold:
+            break
+        chosen = level
+        current = nxt
+    return GranularitySelection(chosen, 1 << chosen, tuple(costs))

@@ -1,0 +1,200 @@
+"""Uniform p × p grids over the object space (Section 4.1).
+
+A :class:`UniformGrid` partitions the *entire space* (the MBR of all
+object regions) into ``granularity × granularity`` equal cells satisfying
+the paper's two properties: completeness (cells cover the space) and
+disjointness (cells are pairwise disjoint).  Disjointness is realised with
+half-open cells ``[x_lo, x_hi) × [y_lo, y_hi)`` (the last row/column is
+closed), so a region whose edge lies exactly on a grid line belongs to one
+side only.
+
+Cells are identified by the integer ``row * granularity + col``; the cell
+id is what the inverted indexes key on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.geometry import Rect
+
+
+class UniformGrid:
+    """An equal-size grid partition of a space rectangle.
+
+    Args:
+        space: The rectangle to partition (the MBR of all object regions).
+        granularity: Cells per side, ``p >= 1``; the paper sweeps powers of
+            two (64 … 8192) but any positive count is supported.
+
+    Raises:
+        ConfigurationError: If ``granularity < 1`` or the space is
+            degenerate (zero width or height), which would make cell
+            areas — and hence all grid weights — zero.
+    """
+
+    __slots__ = ("space", "granularity", "_cell_w", "_cell_h")
+
+    def __init__(self, space: Rect, granularity: int) -> None:
+        if granularity < 1:
+            raise ConfigurationError(f"granularity must be >= 1, got {granularity}")
+        if space.width <= 0.0 or space.height <= 0.0:
+            raise ConfigurationError(
+                "grid space must have positive width and height; "
+                "buffer a degenerate corpus MBR before building grids"
+            )
+        self.space = space
+        self.granularity = granularity
+        self._cell_w = space.width / granularity
+        self._cell_h = space.height / granularity
+
+    # ------------------------------------------------------------------
+    # Cell geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return self.granularity * self.granularity
+
+    @property
+    def cell_area(self) -> float:
+        return self._cell_w * self._cell_h
+
+    def cell_id(self, row: int, col: int) -> int:
+        return row * self.granularity + col
+
+    def cell_rect(self, cell: int) -> Rect:
+        """The closed rectangle of cell ``cell`` (for area computations)."""
+        g = self.granularity
+        row, col = divmod(cell, g)
+        if not (0 <= row < g and 0 <= col < g):
+            raise ValueError(f"cell id {cell} out of range for granularity {g}")
+        x1 = self.space.x1 + col * self._cell_w
+        y1 = self.space.y1 + row * self._cell_h
+        return Rect(x1, y1, x1 + self._cell_w, y1 + self._cell_h)
+
+    def cell_containing(self, x: float, y: float) -> int | None:
+        """The cell owning point ``(x, y)`` under half-open semantics."""
+        g = self.granularity
+        col = self._axis_index(x - self.space.x1, self._cell_w)
+        row = self._axis_index(y - self.space.y1, self._cell_h)
+        if col is None or row is None:
+            return None
+        return row * g + col
+
+    def _axis_index(self, offset: float, step: float) -> int | None:
+        if offset < 0.0:
+            return None
+        index = int(offset / step)
+        if index >= self.granularity:
+            # The top/right boundary belongs to the last cell; beyond it is
+            # outside the space.
+            if offset <= self.granularity * step:
+                return self.granularity - 1
+            return None
+        return index
+
+    # ------------------------------------------------------------------
+    # Region <-> cells
+    # ------------------------------------------------------------------
+
+    def cell_span(self, rect: Rect) -> Tuple[int, int, int, int] | None:
+        """Inclusive ``(row_lo, row_hi, col_lo, col_hi)`` of cells whose
+        half-open extent intersects ``rect`` (clipped to the space), or
+        None when the rect lies entirely outside the space.
+
+        Half-open semantics: a rect whose right edge coincides with a cell
+        boundary does *not* reach the cell to the right of that boundary.
+        """
+        space = self.space
+        if (
+            rect.x2 < space.x1
+            or rect.x1 > space.x2
+            or rect.y2 < space.y1
+            or rect.y1 > space.y2
+        ):
+            return None
+        g = self.granularity
+        col_lo = self._lo_index(rect.x1 - space.x1, self._cell_w)
+        row_lo = self._lo_index(rect.y1 - space.y1, self._cell_h)
+        col_hi = self._hi_index(rect.x1, rect.x2, space.x1, self._cell_w)
+        row_hi = self._hi_index(rect.y1, rect.y2, space.y1, self._cell_h)
+        if col_hi < col_lo or row_hi < row_lo:
+            return None
+        return (row_lo, row_hi, col_lo, col_hi)
+
+    def _lo_index(self, offset: float, step: float) -> int:
+        if offset <= 0.0:
+            return 0
+        index = int(offset / step)
+        return min(index, self.granularity - 1)
+
+    def _hi_index(self, lo: float, hi: float, origin: float, step: float) -> int:
+        offset = hi - origin
+        if offset < 0.0:
+            return -1
+        index = int(offset / step)
+        # Exact-boundary case: a positive-width rect ending exactly on a
+        # cell boundary stops at the previous cell (half-open cells).  A
+        # degenerate rect *on* the boundary stays in the owning cell.
+        if hi > lo and index > 0 and offset == index * step:
+            index -= 1
+        return min(index, self.granularity - 1)
+
+    def cells_overlapping(self, rect: Rect) -> List[int]:
+        """All cell ids whose half-open extent intersects ``rect``."""
+        span = self.cell_span(rect)
+        if span is None:
+            return []
+        row_lo, row_hi, col_lo, col_hi = span
+        g = self.granularity
+        return [
+            row * g + col
+            for row in range(row_lo, row_hi + 1)
+            for col in range(col_lo, col_hi + 1)
+        ]
+
+    def signature(self, rect: Rect) -> List[Tuple[int, float]]:
+        """Grid-based signature of ``rect`` (Definition 4) with weights.
+
+        Returns ``[(cell, |g ∩ rect|), ...]`` — the intersecting cells with
+        the area weights ``w(g|·)`` of Equation (1).  Degenerate regions
+        yield their single owning cell with weight 0.
+        """
+        span = self.cell_span(rect)
+        if span is None:
+            return []
+        row_lo, row_hi, col_lo, col_hi = span
+        space = self.space
+        cw, ch = self._cell_w, self._cell_h
+        g = self.granularity
+        out: List[Tuple[int, float]] = []
+        for row in range(row_lo, row_hi + 1):
+            cy1 = space.y1 + row * ch
+            dy = min(rect.y2, cy1 + ch) - max(rect.y1, cy1)
+            if dy < 0.0:
+                dy = 0.0
+            base = row * g
+            for col in range(col_lo, col_hi + 1):
+                cx1 = space.x1 + col * cw
+                dx = min(rect.x2, cx1 + cw) - max(rect.x1, cx1)
+                if dx < 0.0:
+                    dx = 0.0
+                out.append((base + col, dx * dy))
+        return out
+
+    def cell_count(self, rect: Rect) -> int:
+        """How many cells ``rect`` intersects, without materialising them."""
+        span = self.cell_span(rect)
+        if span is None:
+            return 0
+        row_lo, row_hi, col_lo, col_hi = span
+        return (row_hi - row_lo + 1) * (col_hi - col_lo + 1)
+
+    def iter_cells(self) -> Iterator[int]:
+        return iter(range(self.num_cells))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UniformGrid({self.granularity}x{self.granularity} over {self.space.as_tuple()})"

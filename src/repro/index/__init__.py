@@ -1,0 +1,15 @@
+"""Inverted-index substrate with threshold bounds (Sections 3.2, 4.2, 5.1).
+
+Signature filtering probes inverted lists mapping signature elements to
+objects.  The threshold-aware variant augments each posting with the
+Lemma 3 suffix bound and keeps lists sorted descending by bound, so a
+probe with threshold ``c`` touches exactly the qualifying head of the
+list (found by binary search).  Hybrid lists carry two bounds (spatial and
+textual).  :mod:`repro.index.storage` provides the byte-accounting model
+behind Table 1's index sizes.
+"""
+
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import DualBoundPostingList, PostingList
+
+__all__ = ["DualBoundPostingList", "InvertedIndex", "PostingList"]

@@ -1,0 +1,93 @@
+"""Inverted indexes over signature elements.
+
+:class:`InvertedIndex` maps a signature element (token, cell id, or
+hybrid key) to its posting list.  It is generic over the posting-list
+class so the single-bound and dual-bound variants share construction,
+freezing, statistics and size accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, Tuple, Type, TypeVar
+
+from repro.index.postings import DualBoundPostingList, PostingList
+
+Key = TypeVar("Key", bound=Hashable)
+PList = TypeVar("PList", PostingList, DualBoundPostingList)
+
+
+class InvertedIndex(Generic[Key, PList]):
+    """element -> posting list, with build/freeze lifecycle.
+
+    Args:
+        list_class: :class:`PostingList` (single bound) or
+            :class:`DualBoundPostingList` (hybrid).
+
+    Examples:
+        >>> index = InvertedIndex(PostingList)
+        >>> index.list_for("tea").add(0, bound=1.5)
+        >>> index.freeze()
+        >>> list(index.probe("tea", 1.0))
+        [0]
+    """
+
+    __slots__ = ("_lists", "_list_class", "_frozen")
+
+    def __init__(self, list_class: Type[PList] = PostingList) -> None:
+        self._lists: Dict[Key, PList] = {}
+        self._list_class = list_class
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Build phase
+    # ------------------------------------------------------------------
+
+    def list_for(self, element: Key) -> PList:
+        """The (created-on-demand) posting list of ``element``."""
+        plist = self._lists.get(element)
+        if plist is None:
+            if self._frozen:
+                raise RuntimeError("InvertedIndex is frozen; cannot create new lists")
+            plist = self._list_class()
+            self._lists[element] = plist
+        return plist
+
+    def freeze(self) -> None:
+        """Freeze every posting list (sorts by bound); idempotent."""
+        for plist in self._lists.values():
+            plist.freeze()
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    # Probe phase
+    # ------------------------------------------------------------------
+
+    def get(self, element: Key) -> PList | None:
+        return self._lists.get(element)
+
+    def probe(self, element: Key, min_bound: float):
+        """Single-bound probe: qualifying oids of ``element``'s list."""
+        plist = self._lists.get(element)
+        if plist is None:
+            return ()
+        return plist.retrieve(min_bound)  # type: ignore[call-arg]
+
+    def __contains__(self, element: Key) -> bool:
+        return element in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def items(self) -> Iterator[Tuple[Key, PList]]:
+        return iter(self._lists.items())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def num_postings(self) -> int:
+        return sum(len(plist) for plist in self._lists.values())
+
+    def list_length(self, element: Key) -> int:
+        plist = self._lists.get(element)
+        return len(plist) if plist is not None else 0

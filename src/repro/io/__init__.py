@@ -1,0 +1,19 @@
+"""Persistence: corpus files and engine snapshots.
+
+Real deployments don't regenerate their ROIs per process.  This package
+provides a stable on-disk corpus format (JSON-lines, one object per
+line) plus whole-engine snapshots, so an index built once can be shipped
+to query-serving processes.
+"""
+
+from repro.io.corpus_io import load_corpus, load_queries, save_corpus, save_queries
+from repro.io.snapshot import load_engine, save_engine
+
+__all__ = [
+    "load_corpus",
+    "load_engine",
+    "load_queries",
+    "save_corpus",
+    "save_engine",
+    "save_queries",
+]

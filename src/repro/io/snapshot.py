@@ -1,0 +1,66 @@
+"""Engine snapshots: build once, query everywhere.
+
+A snapshot is a pickle of the engine object plus a version envelope, so
+loads fail loudly on format drift instead of deserialising garbage.
+Pickle is appropriate here: snapshots are trusted, same-codebase
+artifacts (an index is meaningless under different code anyway); the
+envelope records the library version for a clear error message.
+
+For untrusted interchange use the JSONL corpus format and rebuild.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import SealError
+
+#: Bump when index internals change incompatibly.
+SNAPSHOT_FORMAT = 1
+
+_MAGIC = "repro-seal-snapshot"
+
+
+class SnapshotError(SealError, RuntimeError):
+    """A snapshot file is missing, corrupt, or from another format."""
+
+
+def save_engine(engine: Any, path: str | Path) -> None:
+    """Snapshot any engine/method object to ``path``."""
+    from repro import __version__
+
+    envelope = {
+        "magic": _MAGIC,
+        "format": SNAPSHOT_FORMAT,
+        "library_version": __version__,
+        "engine": engine,
+    }
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_engine(path: str | Path) -> Any:
+    """Load a snapshot written by :func:`save_engine`.
+
+    Raises:
+        SnapshotError: On missing/corrupt files or format mismatches.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotError(f"snapshot not found: {path}")
+    try:
+        with path.open("rb") as handle:
+            envelope = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        raise SnapshotError(f"corrupt or incompatible snapshot {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise SnapshotError(f"{path} is not a repro engine snapshot")
+    if envelope.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} uses snapshot format {envelope.get('format')}, "
+            f"this library reads format {SNAPSHOT_FORMAT}; rebuild the index"
+        )
+    return envelope["engine"]

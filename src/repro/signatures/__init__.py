@@ -1,0 +1,26 @@
+"""Signature schemes and threshold-aware prefix filtering (Sections 3–5).
+
+A *signature scheme* maps an object (or query) to an ordered list of
+``(element, weight)`` pairs such that ``sim(q, o) ≥ τ`` implies the
+weighted overlap of the signatures reaches a derived threshold ``c``.
+Four schemes realise the paper's designs:
+
+* :class:`~repro.signatures.textual.TextualScheme` — tokens weighted by
+  idf (Section 3.2).
+* :class:`~repro.signatures.spatial.GridScheme` — uniform grid cells
+  weighted by intersection area (Section 4.1).
+* hash-based hybrid ``(token, cell)`` pairs (Section 5.1) — handled by
+  :class:`repro.filters.hybrid_filter.HybridFilter`.
+* hierarchical hybrid per-token grids (Section 5.2) — built by
+  :func:`~repro.signatures.hierarchical.select_token_grids` (HSS-Greedy).
+
+:mod:`~repro.signatures.prefix` implements Lemma 2 (query prefix
+selection) and Lemma 3 (per-posting threshold bounds); both are shared by
+every scheme.
+"""
+
+from repro.signatures.prefix import select_prefix, suffix_bounds
+from repro.signatures.spatial import GridScheme
+from repro.signatures.textual import TextualScheme
+
+__all__ = ["GridScheme", "TextualScheme", "select_prefix", "suffix_bounds"]

@@ -1,0 +1,109 @@
+"""Global orders over grid cells.
+
+Prefix filtering needs one fixed, total order over all signature elements.
+The paper sorts grid cells "in ascending order of the number of the object
+regions intersecting with them" (``count(g)``) and explicitly leaves the
+study of other orders as future work (Section 4.2, footnote 4).  We
+implement the paper's order plus three alternatives so the ablation bench
+can quantify the footnote:
+
+* ``count_asc`` — the paper's choice: rare cells first, so prefixes hold
+  the most selective cells and inverted-list probes stay short.
+* ``count_desc`` — adversarial inversion (popular cells first).
+* ``cell_id`` — arbitrary but stable (row-major), a "no tuning" strawman.
+* ``hilbert`` — space-filling-curve order; spatially smooth, selectivity
+  blind.
+
+An order is represented as a ``dict[cell_id, rank]``; lower rank sorts
+first.  Ties in ``count(g)`` are broken by cell id for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.core.errors import ConfigurationError
+
+#: Signature of an order builder: (counts per cell, granularity) -> ranks.
+OrderBuilder = Callable[[Mapping[int, int], int], Dict[int, int]]
+
+
+def order_count_asc(counts: Mapping[int, int], granularity: int) -> Dict[int, int]:
+    """The paper's global grid order: ascending ``count(g)``, then cell id."""
+    ordered = sorted(counts, key=lambda cell: (counts[cell], cell))
+    return {cell: rank for rank, cell in enumerate(ordered)}
+
+
+def order_count_desc(counts: Mapping[int, int], granularity: int) -> Dict[int, int]:
+    """Inverted order (popular cells first) — ablation baseline."""
+    ordered = sorted(counts, key=lambda cell: (-counts[cell], cell))
+    return {cell: rank for rank, cell in enumerate(ordered)}
+
+
+def order_cell_id(counts: Mapping[int, int], granularity: int) -> Dict[int, int]:
+    """Row-major cell order — a statistics-free strawman."""
+    return {cell: rank for rank, cell in enumerate(sorted(counts))}
+
+
+def order_hilbert(counts: Mapping[int, int], granularity: int) -> Dict[int, int]:
+    """Hilbert-curve order of the occupied cells.
+
+    Cells are ranked by their position on a Hilbert curve over the
+    smallest power-of-two square covering the grid; spatially adjacent
+    cells get nearby ranks, which clusters prefixes geographically but
+    ignores selectivity entirely.
+    """
+    side = 1
+    while side < granularity:
+        side <<= 1
+    keyed = sorted(
+        counts, key=lambda cell: (hilbert_d(side, cell // granularity, cell % granularity), cell)
+    )
+    return {cell: rank for rank, cell in enumerate(keyed)}
+
+
+def hilbert_d(side: int, row: int, col: int) -> int:
+    """Distance along the Hilbert curve of a ``side × side`` grid.
+
+    ``side`` must be a power of two.  Standard bit-twiddling conversion
+    (Wikipedia's ``xy2d``), with (col, row) as (x, y).
+    """
+    if side & (side - 1):
+        raise ConfigurationError(f"hilbert side must be a power of two, got {side}")
+    x, y = col, row
+    rx = ry = 0
+    d = 0
+    s = side // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate quadrant
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s //= 2
+    return d
+
+
+GRID_ORDERS: Dict[str, OrderBuilder] = {
+    "count_asc": order_count_asc,
+    "count_desc": order_count_desc,
+    "cell_id": order_cell_id,
+    "hilbert": order_hilbert,
+}
+
+
+def get_order_builder(name: str) -> OrderBuilder:
+    """Look up an order builder by name.
+
+    Raises:
+        ConfigurationError: For unknown names (lists the valid ones).
+    """
+    try:
+        return GRID_ORDERS[name]
+    except KeyError:
+        valid = ", ".join(sorted(GRID_ORDERS))
+        raise ConfigurationError(f"unknown grid order {name!r}; valid orders: {valid}") from None

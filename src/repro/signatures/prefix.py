@@ -1,0 +1,94 @@
+"""Weighted prefix filtering: Lemma 2 (prefixes) and Lemma 3 (bounds).
+
+Fix a global order on signature elements and sort every signature by it.
+For a signature ``S = [s_1, …, s_n]`` with weights ``w_i`` and an overlap
+threshold ``c``:
+
+* **Lemma 2** — the *prefix* keeps the first ``p`` elements where ``p``
+  is the smallest ``i`` with ``Σ_{j>i} w_j < c``.  If two signatures'
+  weighted overlap reaches ``c``, their prefixes must share an element,
+  so probing only prefix elements loses no answers.
+* **Lemma 3** — the *threshold bound* of ``s_i`` in ``S`` is the suffix
+  sum ``Σ_{j≥i} w_j``.  An object can be pruned from the inverted list of
+  ``s_i`` whenever ``c`` exceeds its bound, because every common element
+  of the two signatures sorts at or after the first common one.
+
+Both are scheme-agnostic: tokens, grid cells, and hybrid pairs all flow
+through these two functions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+Element = TypeVar("Element")
+
+
+def suffix_bounds(weights: Sequence[float]) -> List[float]:
+    """Suffix sums ``bounds[i] = Σ_{j≥i} weights[j]`` (Lemma 3).
+
+    Args:
+        weights: Signature weights in global order.
+
+    Returns:
+        One bound per element; ``bounds[0]`` is the total signature weight.
+
+    Examples:
+        >>> suffix_bounds([3.0, 2.0, 1.0])
+        [6.0, 3.0, 1.0]
+    """
+    bounds: List[float] = [0.0] * len(weights)
+    acc = 0.0
+    for i in range(len(weights) - 1, -1, -1):
+        acc += weights[i]
+        bounds[i] = acc
+    return bounds
+
+
+def select_prefix(weights: Sequence[float], threshold: float) -> int:
+    """Prefix length ``p`` per Lemma 2: drop the lightest-possible suffix.
+
+    ``p = min{i : Σ_{j>i} w_j < threshold}``.  Properties worth noting:
+
+    * ``threshold <= 0`` keeps the *whole* signature (no suffix has weight
+      strictly below a non-positive threshold, since weights are ≥ 0) —
+      exactly what a vacuous similarity threshold requires for safety.
+    * ``threshold > Σ w_j`` yields ``p = 0``: no object can reach the
+      threshold, so the empty prefix correctly produces zero candidates.
+
+    Args:
+        weights: Signature weights in global order.
+        threshold: The derived overlap threshold ``c``.
+
+    Returns:
+        Number of leading elements to keep (0 ≤ p ≤ len(weights)).
+
+    Examples:
+        >>> select_prefix([3.0, 2.0, 1.0], 2.5)   # suffix [1.0] < 2.5
+        2
+        >>> select_prefix([3.0, 2.0, 1.0], 0.5)   # suffix [] only
+        3
+        >>> select_prefix([3.0, 2.0, 1.0], 10.0)  # unreachable threshold
+        0
+    """
+    if threshold <= 0.0:
+        return len(weights)
+    suffix = 0.0
+    # Walk from the end accumulating the suffix; the first index (from the
+    # right) whose *exclusive* suffix is still < threshold is the cut.
+    p = len(weights)
+    for i in range(len(weights) - 1, -1, -1):
+        if suffix + weights[i] < threshold:
+            p = i
+        else:
+            break
+        suffix += weights[i]
+    return p
+
+
+def prefix_elements(
+    signature: Sequence[Tuple[Element, float]], threshold: float
+) -> Sequence[Tuple[Element, float]]:
+    """Convenience wrapper: the prefix slice of an ``(element, weight)`` list."""
+    p = select_prefix([w for _, w in signature], threshold)
+    return signature[:p]

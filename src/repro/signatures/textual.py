@@ -1,0 +1,50 @@
+"""Textual signatures (Section 3.2).
+
+The textual signature of an object is simply its token set, weighted by
+idf; the signature similarity is the weighted overlap
+
+    sim(S_T(q), S_T(o)) = Σ_{t ∈ q.T ∩ o.T} w(t)
+
+and the derived threshold is ``c_T = τ_T · Σ_{t ∈ q.T} w(t)``, which is a
+valid filter because the textual Jaccard's denominator is at least the
+query's own total weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.objects import Query, SpatioTextualObject
+from repro.text.weights import TokenWeighter
+
+
+class TextualScheme:
+    """Token signatures in descending-idf global order.
+
+    Args:
+        weighter: The corpus idf statistics (also defines the global order).
+    """
+
+    __slots__ = ("weighter",)
+
+    element_kind = "token"
+
+    def __init__(self, weighter: TokenWeighter) -> None:
+        self.weighter = weighter
+
+    def object_signature(self, obj: SpatioTextualObject) -> List[Tuple[str, float]]:
+        """``S_T(o) = o.T`` as (token, w(token)) pairs in global order."""
+        return self._signature(obj.tokens)
+
+    def query_signature(self, query: Query) -> List[Tuple[str, float]]:
+        """``S_T(q) = q.T`` — same construction as for objects."""
+        return self._signature(query.tokens)
+
+    def _signature(self, tokens) -> List[Tuple[str, float]]:
+        weighter = self.weighter
+        ordered = weighter.sort_tokens(tokens)
+        return [(t, weighter.weight(t)) for t in ordered]
+
+    def threshold(self, query: Query) -> float:
+        """``c_T = τ_T · Σ_{t∈q.T} w(t)`` (Section 3.2)."""
+        return query.tau_t * self.weighter.total_weight(query.tokens)

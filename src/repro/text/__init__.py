@@ -1,0 +1,12 @@
+"""Textual substrate: tokenisation and idf token weighting.
+
+The paper's textual similarity is a weighted Jaccard over token sets with
+``w(t) = ln(|O| / count(t, O))`` (inverse document frequency).  This
+subpackage owns the corpus statistics (:class:`TokenWeighter`) and the
+descending-idf *global token order* that the prefix filter relies on.
+"""
+
+from repro.text.tokenizer import tokenize
+from repro.text.weights import TokenWeighter
+
+__all__ = ["TokenWeighter", "tokenize"]

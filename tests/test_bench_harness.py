@@ -1,0 +1,83 @@
+"""Tests for the benchmark harness (timing, sweeps, tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NaiveSearch, TokenFilter
+from repro.bench import format_series_table, format_table, measure_workload, sweep
+from repro.bench.harness import WorkloadMeasurement
+
+
+class TestMeasureWorkload:
+    def test_basic(self, figure1_objects, figure1_weighter, figure1_query):
+        method = NaiveSearch(figure1_objects, figure1_weighter)
+        m = measure_workload(method, [figure1_query] * 3)
+        assert m.queries == 3
+        assert m.results == 1.0
+        assert m.candidates == len(figure1_objects)
+        assert m.elapsed_ms >= 0.0
+        assert m.elapsed_ms == pytest.approx(m.filter_ms + m.verify_ms, rel=1e-6)
+
+    def test_empty_workload_rejected(self, figure1_objects, figure1_weighter):
+        method = NaiveSearch(figure1_objects, figure1_weighter)
+        with pytest.raises(ValueError):
+            measure_workload(method, [])
+
+    def test_counts_are_per_query_means(self, figure1_objects, figure1_weighter, figure1_query):
+        method = TokenFilter(figure1_objects, figure1_weighter)
+        single = measure_workload(method, [figure1_query])
+        double = measure_workload(method, [figure1_query, figure1_query])
+        assert single.candidates == double.candidates
+        assert single.lists_probed == double.lists_probed
+
+
+class TestSweep:
+    def test_tau_r_axis(self, figure1_objects, figure1_weighter, figure1_query):
+        method = NaiveSearch(figure1_objects, figure1_weighter)
+        out = sweep(method, [figure1_query], [0.1, 0.5], "tau_r")
+        assert set(out) == {0.1, 0.5}
+        # Lower spatial threshold admits at least as many answers.
+        assert out[0.1].results >= out[0.5].results
+
+    def test_tau_t_axis_keeps_other_threshold(self, figure1_objects, figure1_weighter, figure1_query):
+        method = NaiveSearch(figure1_objects, figure1_weighter)
+        out = sweep(method, [figure1_query], [0.2], "tau_t")
+        assert out[0.2].results >= 0
+
+    def test_bad_axis(self, figure1_objects, figure1_weighter, figure1_query):
+        method = NaiveSearch(figure1_objects, figure1_weighter)
+        with pytest.raises(ValueError):
+            sweep(method, [figure1_query], [0.1], "tau_x")
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table("T", "x", [1, 2], {"row": [3.0, 4.5]})
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "row" in lines[-1]
+        assert "4.50" in lines[-1]
+
+    def test_format_large_and_small_floats(self):
+        text = format_table("T", "x", [1], {"big": [1234.5], "small": [0.0042], "zero": [0.0]})
+        assert "1234" in text and "0.004" in text
+
+    def test_format_series_table(self):
+        m1 = WorkloadMeasurement(1, 5.0, 4.0, 1.0, 10.0, 20.0, 2.0, 1.0)
+        m2 = WorkloadMeasurement(1, 2.0, 1.0, 1.0, 6.0, 9.0, 1.0, 1.0)
+        series = {"MethodA": {0.1: m1, 0.5: m2}}
+        text = format_series_table("Fig X", "tau_r", series)
+        assert "MethodA" in text
+        assert "5.00" in text and "2.00" in text
+
+    def test_format_series_table_other_metric(self):
+        m1 = WorkloadMeasurement(1, 5.0, 4.0, 1.0, 10.0, 20.0, 2.0, 1.0)
+        text = format_series_table("Fig X", "tau_r", {"A": {0.1: m1}}, metric="candidates")
+        assert "10.0" in text or "10.00" in text
+
+    def test_missing_column_cells_blank(self):
+        m1 = WorkloadMeasurement(1, 5.0, 4.0, 1.0, 10.0, 20.0, 2.0, 1.0)
+        series = {"A": {0.1: m1}, "B": {0.5: m1}}
+        text = format_series_table("Fig X", "tau", series)
+        assert "A" in text and "B" in text

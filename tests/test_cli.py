@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_corpus, load_queries, save_corpus, save_queries
+
+
+@pytest.fixture()
+def corpus_file(tmp_path, figure1_objects):
+    path = tmp_path / "corpus.jsonl"
+    save_corpus(figure1_objects, path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_twitter(self, tmp_path, capsys):
+        out = tmp_path / "c.jsonl"
+        rc = main(["generate", "twitter", "--num-objects", "50", "--out", str(out)])
+        assert rc == 0
+        assert len(load_corpus(out)) == 50
+        assert "wrote 50 objects" in capsys.readouterr().out
+
+    def test_generate_with_queries(self, tmp_path, capsys):
+        out = tmp_path / "c.jsonl"
+        queries = tmp_path / "q.jsonl"
+        rc = main(
+            [
+                "generate", "usa", "--num-objects", "40", "--out", str(out),
+                "--queries", str(queries), "--num-queries", "5", "--kind", "large",
+            ]
+        )
+        assert rc == 0
+        assert len(load_queries(queries)) == 5
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["generate", "twitter", "--num-objects", "30", "--seed", "3", "--out", str(a)])
+        main(["generate", "twitter", "--num-objects", "30", "--seed", "3", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestStats:
+    def test_stats(self, corpus_file, capsys):
+        rc = main(["stats", str(corpus_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "objects:            7" in out
+        assert "distinct tokens:    5" in out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        rc = main(["stats", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "engine.pkl"
+        rc = main(
+            ["build", str(corpus_file), "--method", "seal", "--out", str(engine),
+             "--mt", "8", "--max-level", "4"]
+        )
+        assert rc == 0
+        assert "built seal over 7 objects" in capsys.readouterr().out
+
+        # Figure 1's query; the answer is object 1 (o2).
+        rc = main(
+            ["query", str(engine), "--region", "35,10,75,70",
+             "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 answers [1]" in out
+
+    def test_query_with_workload_file(self, corpus_file, tmp_path, capsys, figure1_query):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        capsys.readouterr()
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query, figure1_query], workload)
+        rc = main(["query", str(engine), "--queries", str(workload)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query 0:" in out and "query 1:" in out
+
+    def test_query_requires_region_or_file(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        capsys.readouterr()
+        rc = main(["query", str(engine)])
+        assert rc == 2
+
+    def test_query_bad_region(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        capsys.readouterr()
+        rc = main(["query", str(engine), "--region", "1,2,3", "--tokens", "a"])
+        assert rc == 2
+
+    def test_build_unknown_params_ignored_when_none(self, corpus_file, tmp_path):
+        engine = tmp_path / "engine.pkl"
+        rc = main(["build", str(corpus_file), "--method", "grid", "--out", str(engine),
+                   "--granularity", "8"])
+        assert rc == 0
+
+
+class TestSweep:
+    def test_sweep_prints_table(self, tmp_path, capsys):
+        corpus = tmp_path / "c.jsonl"
+        main(["generate", "twitter", "--num-objects", "120", "--out", str(corpus)])
+        capsys.readouterr()
+        rc = main(
+            ["sweep", str(corpus), "--methods", "token,naive", "--taus", "0.1,0.5",
+             "--num-queries", "4", "--axis", "tau_t"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "token" in out and "naive" in out
+        assert "candidates per query" in out

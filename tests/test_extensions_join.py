@@ -1,0 +1,97 @@
+"""Tests for the spatio-textual similarity self-join."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, TokenWeighter, make_corpus
+from repro.core.errors import ConfigurationError
+from repro.extensions.join import brute_force_join, similarity_join
+
+from tests.strategies import corpora
+
+
+class TestSimilarityJoin:
+    @pytest.fixture()
+    def village(self):
+        """Three overlapping cafés, one bookshop, one remote gym."""
+        return make_corpus(
+            [
+                (Rect(0, 0, 10, 10), {"coffee", "mocha"}),
+                (Rect(1, 1, 11, 11), {"coffee", "mocha", "tea"}),
+                (Rect(2, 2, 12, 12), {"coffee", "espresso"}),
+                (Rect(3, 3, 9, 9), {"books", "press"}),
+                (Rect(90, 90, 99, 99), {"gym", "fitness"}),
+            ]
+        )
+
+    def test_matches_brute_force(self, village):
+        got = similarity_join(village, 0.3, 0.3, granularity=8)
+        assert got == brute_force_join(village, 0.3, 0.3)
+
+    def test_pairs_ordered(self, village):
+        for a, b in similarity_join(village, 0.1, 0.1, granularity=8):
+            assert a < b
+
+    def test_thresholds_must_be_positive(self, village):
+        with pytest.raises(ConfigurationError):
+            similarity_join(village, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            similarity_join(village, 0.5, 0.0)
+
+    def test_empty_corpus(self):
+        assert similarity_join([], 0.5, 0.5) == []
+
+    def test_single_object(self):
+        objs = make_corpus([(Rect(0, 0, 1, 1), {"a"})])
+        assert similarity_join(objs, 0.5, 0.5) == []
+
+    def test_high_thresholds_only_near_duplicates(self, village):
+        pairs = similarity_join(village, 0.9, 0.9, granularity=8)
+        assert pairs == brute_force_join(village, 0.9, 0.9)
+
+    def test_zero_weight_pairs_found(self):
+        """Objects whose only token is corpus-wide (idf 0) still join
+        with each other (simT = 1)."""
+        objs = make_corpus(
+            [
+                (Rect(0, 0, 4, 4), {"common"}),
+                (Rect(0, 0, 4, 4), {"common"}),
+                (Rect(50, 50, 60, 60), {"common"}),
+            ]
+        )
+        got = similarity_join(objs, 0.5, 0.5, granularity=4)
+        assert got == [(0, 1)] == brute_force_join(objs, 0.5, 0.5)
+
+    def test_twitter_corpus_join(self, twitter_small, twitter_small_weighter):
+        got = similarity_join(
+            twitter_small, 0.2, 0.2, weighter=twitter_small_weighter, granularity=32
+        )
+        expected = brute_force_join(twitter_small, 0.2, 0.2, twitter_small_weighter)
+        assert got == expected
+
+    def test_join_symmetric_in_data_order(self, village):
+        """Same pairs regardless of input order (oids are preserved)."""
+        reversed_pairs = [(obj.region, obj.tokens) for obj in reversed(village)]
+        remapped = make_corpus(reversed_pairs)
+        n = len(village)
+        got = {
+            tuple(sorted((n - 1 - a, n - 1 - b)))
+            for a, b in similarity_join(remapped, 0.3, 0.3, granularity=8)
+        }
+        assert got == set(similarity_join(village, 0.3, 0.3, granularity=8))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    corpora(min_size=2, max_size=12),
+    st.sampled_from([0.1, 0.3, 0.5, 0.9]),
+    st.sampled_from([0.1, 0.3, 0.5, 0.9]),
+    st.sampled_from([2, 4, 8]),
+)
+def test_property_join_equals_brute_force(objects, tau_r, tau_t, granularity):
+    weighter = TokenWeighter(obj.tokens for obj in objects)
+    got = similarity_join(objects, tau_r, tau_t, weighter=weighter, granularity=granularity)
+    assert got == brute_force_join(objects, tau_r, tau_t, weighter)

@@ -1,0 +1,144 @@
+"""Tests for multi-region ROIs: clustering, union area, search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, InvalidQueryError
+from repro.extensions.multiregion import (
+    MultiRegionObject,
+    cluster_points_to_regions,
+    multi_region_search,
+    multi_region_spatial_similarity,
+    union_area,
+)
+from repro.geometry import Rect
+
+from tests.strategies import rects
+
+
+class TestUnionArea:
+    def test_single(self):
+        assert union_area([Rect(0, 0, 2, 3)]) == 6.0
+
+    def test_disjoint(self):
+        assert union_area([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)]) == 2.0
+
+    def test_overlapping(self):
+        assert union_area([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]) == 7.0
+
+    def test_nested(self):
+        assert union_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100.0
+
+    def test_empty_and_degenerate(self):
+        assert union_area([]) == 0.0
+        assert union_area([Rect(1, 1, 1, 1)]) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rects(), min_size=1, max_size=5))
+    def test_bounds(self, rs):
+        total = union_area(rs)
+        assert max(r.area for r in rs) - 1e-9 <= total <= sum(r.area for r in rs) + 1e-9
+
+
+class TestClustering:
+    def test_single_cluster(self):
+        points = [(0, 0), (1, 1), (0.5, 0.2)]
+        regions = cluster_points_to_regions(points, max_regions=1)
+        assert regions == (Rect(0, 0, 1, 1),)
+
+    def test_two_far_clusters_split(self):
+        points = [(0, 0), (1, 1), (100, 100), (101, 101)]
+        regions = cluster_points_to_regions(points, max_regions=2, seed=1)
+        assert len(regions) == 2
+        areas = sorted(r.area for r in regions)
+        assert areas[-1] <= 4.0  # neither MBR spans both clusters
+
+    def test_identical_points(self):
+        regions = cluster_points_to_regions([(5, 5)] * 4, max_regions=3)
+        assert len(regions) == 1
+        assert regions[0] == Rect(5, 5, 5, 5)
+
+    def test_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            cluster_points_to_regions([])
+        with pytest.raises(ConfigurationError):
+            cluster_points_to_regions([(0, 0)], max_regions=0)
+
+    def test_multi_region_covers_all_points(self):
+        points = [(float(i % 7) * 3, float(i % 5) * 2) for i in range(30)]
+        regions = cluster_points_to_regions(points, max_regions=3, seed=2)
+        for x, y in points:
+            assert any(r.contains_point(x, y) for r in regions)
+
+
+class TestMultiRegionSimilarity:
+    def test_identical(self):
+        regions = (Rect(0, 0, 1, 1), Rect(5, 5, 6, 6))
+        assert multi_region_spatial_similarity(regions, regions) == 1.0
+
+    def test_disjoint(self):
+        a = (Rect(0, 0, 1, 1),)
+        b = (Rect(5, 5, 6, 6),)
+        assert multi_region_spatial_similarity(a, b) == 0.0
+
+    def test_multi_vs_single(self):
+        a = (Rect(0, 0, 2, 2), Rect(8, 8, 10, 10))
+        b = (Rect(0, 0, 10, 10),)
+        # inter = 4 + 4 = 8; union = 100.
+        assert multi_region_spatial_similarity(a, b) == pytest.approx(8 / 100)
+
+    def test_overlapping_components_not_double_counted(self):
+        a = (Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))  # union area 7
+        b = (Rect(0, 0, 3, 3),)                   # union area 9
+        # inter = union of a's components = 7; union = 9.
+        assert multi_region_spatial_similarity(a, b) == pytest.approx(7 / 9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rects(), min_size=1, max_size=3), st.lists(rects(), min_size=1, max_size=3))
+    def test_range_and_symmetry(self, a, b):
+        s = multi_region_spatial_similarity(a, b)
+        assert 0.0 <= s <= 1.0 + 1e-9
+        assert s == pytest.approx(multi_region_spatial_similarity(b, a))
+
+
+class TestMultiRegionSearch:
+    @pytest.fixture()
+    def objects(self):
+        return [
+            MultiRegionObject(0, (Rect(0, 0, 10, 10), Rect(50, 50, 60, 60)), frozenset({"coffee", "tea"})),
+            MultiRegionObject(1, (Rect(2, 2, 8, 8),), frozenset({"coffee"})),
+            MultiRegionObject(2, (Rect(80, 80, 90, 90),), frozenset({"coffee", "tea"})),
+            MultiRegionObject(3, (Rect(52, 52, 58, 58),), frozenset({"sports"})),
+        ]
+
+    def test_search_basic(self, objects):
+        answers = multi_region_search(
+            objects, [Rect(0, 0, 10, 10)], {"coffee", "tea"}, tau_r=0.2, tau_t=0.3
+        )
+        assert 1 in answers or 0 in answers
+        assert 2 not in answers  # spatially disjoint
+
+    def test_second_home_reachable(self, objects):
+        """The second activity region matches queries the single-MBR
+        model would smear across the whole bounding box."""
+        answers = multi_region_search(
+            objects, [Rect(50, 50, 60, 60)], {"coffee", "tea"}, tau_r=0.2, tau_t=0.3
+        )
+        assert 0 in answers
+
+    def test_tau_r_zero_admits_disjoint(self, objects):
+        answers = multi_region_search(
+            objects, [Rect(0, 0, 5, 5)], {"coffee", "tea"}, tau_r=0.0, tau_t=0.5
+        )
+        assert 2 in answers
+
+    def test_validation(self, objects):
+        with pytest.raises(InvalidQueryError):
+            multi_region_search(objects, [Rect(0, 0, 1, 1)], {"a"}, tau_r=2.0, tau_t=0.0)
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiRegionObject(0, tuple(), frozenset({"a"}))

@@ -1,0 +1,82 @@
+"""Tests for top-k spatio-textual search (threshold descent)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidQueryError, NaiveSearch, build_method
+from repro.core.similarity import spatial_similarity, textual_similarity
+from repro.extensions.topk import top_k_search
+from repro.geometry import Rect
+
+
+def brute_top_k(method, region, tokens, k, beta):
+    tokens = frozenset(tokens)
+    scored = []
+    for obj in method.corpus:
+        sim_r = spatial_similarity(region, obj.region)
+        sim_t = textual_similarity(tokens, obj.tokens, method.weighter)
+        scored.append((obj.oid, beta * sim_r + (1 - beta) * sim_t))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored[:k]
+
+
+@pytest.fixture(scope="module")
+def seal(twitter_small, twitter_small_weighter):
+    return build_method(
+        twitter_small, "seal", twitter_small_weighter, mt=8, max_level=6, min_objects=2
+    )
+
+
+class TestTopK:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    @pytest.mark.parametrize("beta", [0.3, 0.5, 0.7])
+    def test_exactness_vs_brute_force(self, seal, twitter_small, k, beta):
+        anchor = twitter_small[17]
+        result = top_k_search(seal, anchor.region, anchor.tokens, k, beta=beta)
+        expected = brute_top_k(seal, anchor.region, anchor.tokens, k, beta)
+        got = [(oid, pytest.approx(score)) for oid, score, _, _ in result.ranking]
+        assert [oid for oid, _ in got] == [oid for oid, _ in expected]
+        for (oid_g, score_g), (oid_e, score_e) in zip(got, expected):
+            assert score_g == score_e
+
+    def test_scores_descend(self, seal, twitter_small):
+        anchor = twitter_small[3]
+        result = top_k_search(seal, anchor.region, anchor.tokens, 8)
+        scores = [score for _, score, _, _ in result.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_self_match_ranks_first(self, seal, twitter_small):
+        anchor = twitter_small[29]
+        result = top_k_search(seal, anchor.region, anchor.tokens, 1)
+        assert result.ranking[0][0] == anchor.oid
+        assert result.ranking[0][1] == pytest.approx(1.0)
+
+    def test_verified_counts(self, seal, twitter_small):
+        anchor = twitter_small[29]
+        result = top_k_search(seal, anchor.region, anchor.tokens, 3)
+        assert result.verified >= len(result.ranking)
+        assert result.levels_searched[0] == 0.5
+
+    def test_works_on_naive_method(self, twitter_small, twitter_small_weighter):
+        naive = NaiveSearch(twitter_small, twitter_small_weighter)
+        anchor = twitter_small[5]
+        result = top_k_search(naive, anchor.region, anchor.tokens, 5)
+        expected = brute_top_k(naive, anchor.region, anchor.tokens, 5, 0.5)
+        assert result.oids() == [oid for oid, _ in expected]
+
+    def test_k_larger_than_corpus(self, seal, twitter_small):
+        anchor = twitter_small[0]
+        result = top_k_search(seal, anchor.region, anchor.tokens, len(twitter_small) + 10)
+        assert len(result.ranking) <= len(twitter_small)
+
+    def test_bad_inputs(self, seal):
+        region = Rect(0, 0, 1, 1)
+        with pytest.raises(InvalidQueryError):
+            top_k_search(seal, region, {"a"}, 0)
+        with pytest.raises(InvalidQueryError):
+            top_k_search(seal, region, {"a"}, 1, beta=1.5)
+        with pytest.raises(InvalidQueryError):
+            top_k_search(seal, region, {"a"}, 1, schedule=(0.5, 0.1))
+        with pytest.raises(InvalidQueryError):
+            top_k_search(seal, region, {"a"}, 1, schedule=(0.1, 0.5, 0.0))

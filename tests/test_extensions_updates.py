@@ -1,0 +1,76 @@
+"""Tests for the updatable (main + delta) engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Rect
+from repro.extensions.updates import UpdatableSealSearch
+
+
+@pytest.fixture()
+def engine():
+    data = [
+        (Rect(i * 10, 0, i * 10 + 5, 5), {"coffee", f"tag{i}"}) for i in range(20)
+    ]
+    return UpdatableSealSearch(
+        data, method="token", rebuild_threshold=0.25
+    )
+
+
+class TestUpdatableEngine:
+    def test_initial_search(self, engine):
+        result = engine.search(Rect(0, 0, 5, 5), {"coffee", "tag0"}, 0.3, 0.3)
+        assert 0 in result.answers
+
+    def test_insert_visible_immediately(self, engine):
+        oid = engine.insert(Rect(500, 500, 505, 505), {"coffee", "newtag"})
+        result = engine.search(Rect(500, 500, 505, 505), {"coffee", "newtag"}, 0.5, 0.3)
+        assert oid in result.answers
+
+    def test_oids_stable_across_rebuild(self, engine):
+        oids = [engine.insert(Rect(600 + i, 600, 605 + i, 605), {"coffee"}) for i in range(8)]
+        assert engine.rebuilds >= 1  # threshold 0.25 of 20 → rebuild during these
+        assert engine.pending < 8
+        for i, oid in enumerate(oids):
+            assert engine.object(oid).region.x1 == 600 + i
+
+    def test_flush(self, engine):
+        engine.insert(Rect(700, 700, 705, 705), {"tea"})
+        assert engine.pending == 1
+        engine.flush()
+        assert engine.pending == 0
+        result = engine.search(Rect(700, 700, 705, 705), {"tea"}, 0.5, 0.3)
+        assert len(result.answers) == 1
+
+    def test_len_counts_delta(self, engine):
+        before = len(engine)
+        engine.insert(Rect(800, 800, 801, 801), {"x"})
+        assert len(engine) == before + 1
+
+    def test_matches_fresh_build_after_flush(self, engine):
+        """After flush, answers equal a from-scratch engine over the same
+        data (weights fully converge at rebuild)."""
+        inserted = [
+            (Rect(900 + i, 900, 905 + i, 905), {"coffee", "late"}) for i in range(5)
+        ]
+        for region, tokens in inserted:
+            engine.insert(region, tokens)
+        engine.flush()
+        fresh = UpdatableSealSearch(
+            [(engine.object(i).region, engine.object(i).tokens) for i in range(len(engine))],
+            method="token",
+        )
+        probe = (Rect(900, 900, 906, 905), {"coffee", "late"}, 0.3, 0.2)
+        assert engine.search(*probe).answers == fresh.search(*probe).answers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdatableSealSearch([])
+        with pytest.raises(ValueError):
+            UpdatableSealSearch([(Rect(0, 0, 1, 1), {"a"})], rebuild_threshold=0.0)
+
+    def test_delta_results_merged_sorted(self, engine):
+        engine.insert(Rect(0, 0, 5, 5), {"coffee", "tag0"})
+        result = engine.search(Rect(0, 0, 5, 5), {"coffee", "tag0"}, 0.2, 0.2)
+        assert result.answers == sorted(result.answers)

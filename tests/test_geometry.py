@@ -1,0 +1,224 @@
+"""Unit + property tests for the Rect substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.geometry import Rect
+from repro.geometry.rect import mbr_of, spatial_dice, spatial_jaccard
+
+from tests.strategies import rects
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(0, 1, 2, 3)
+        assert (r.x1, r.y1, r.x2, r.y2) == (0, 1, 2, 3)
+
+    def test_degenerate_point_allowed(self):
+        r = Rect(5, 5, 5, 5)
+        assert r.area == 0.0
+        assert r.width == 0.0
+
+    def test_inverted_x_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 1, 1)
+
+    def test_inverted_y_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 2, 1, 1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(float("nan"), 0, 1, 1)
+
+    def test_from_points(self):
+        r = Rect.from_points([(3, 4), (1, 9), (5, 2)])
+        assert r == Rect(1, 2, 5, 9)
+
+    def test_from_points_single(self):
+        assert Rect.from_points([(2, 3)]) == Rect(2, 3, 2, 3)
+
+    def test_from_points_empty(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        assert Rect.from_center(5, 5, 4, 2) == Rect(3, 4, 7, 6)
+
+    def test_from_center_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0, 0, -1, 1)
+
+
+class TestScalars:
+    def test_area(self):
+        assert Rect(0, 0, 4, 5).area == 20
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 6).center == (2, 3)
+
+    def test_margin(self):
+        assert Rect(0, 0, 4, 6).margin == 10
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        # Closed semantics: shared edge counts as intersecting...
+        assert Rect(0, 0, 2, 2).intersects(Rect(2, 0, 4, 2))
+
+    def test_overlaps_touching_edge_is_false(self):
+        # ...but carries zero area.
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(2, 0, 4, 2))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_contains(self):
+        assert Rect(0, 0, 10, 10).contains(Rect(2, 2, 3, 3))
+        assert not Rect(0, 0, 10, 10).contains(Rect(2, 2, 11, 3))
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(2, 2)
+        assert not r.contains_point(2.1, 2)
+
+
+class TestCombinators:
+    def test_intersection(self):
+        assert Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6)) == Rect(2, 2, 4, 4)
+
+    def test_intersection_disjoint_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_intersection_edge_degenerate(self):
+        inter = Rect(0, 0, 2, 2).intersection(Rect(2, 0, 4, 2))
+        assert inter == Rect(2, 0, 2, 2)
+        assert inter.area == 0.0
+
+    def test_intersection_area_paper_example(self):
+        # Figure 1 (exact reconstruction): |q.R ∩ o1.R| = 1000 and
+        # |q.R ∪ o1.R| = 4400, the numbers Section 2.1 quotes.
+        q = Rect(35, 10, 75, 70)
+        o1 = Rect(10, 30, 60, 90)
+        assert q.intersection_area(o1) == 1000
+        assert q.union_area(o1) == 4400
+
+    def test_union_bounding(self):
+        assert Rect(0, 0, 1, 1).union(Rect(5, 5, 6, 6)) == Rect(0, 0, 6, 6)
+
+    def test_enlargement(self):
+        assert Rect(0, 0, 2, 2).enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert Rect(0, 0, 2, 2).enlargement(Rect(0, 0, 4, 2)) == 4.0
+
+    def test_buffer_grow_and_collapse(self):
+        assert Rect(1, 1, 3, 3).buffer(1) == Rect(0, 0, 4, 4)
+        collapsed = Rect(1, 1, 3, 3).buffer(-2)
+        assert collapsed.width == 0.0 and collapsed.center == (2.0, 2.0)
+
+    def test_translate(self):
+        assert Rect(0, 0, 1, 1).translate(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_scale(self):
+        assert Rect(0, 0, 4, 4).scale(0.5) == Rect(1, 1, 3, 3)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).scale(-1)
+
+    def test_mbr_of(self):
+        assert mbr_of([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)]) == Rect(0, -2, 6, 1)
+
+    def test_mbr_of_empty(self):
+        with pytest.raises(ValueError):
+            mbr_of([])
+
+
+class TestSimilarity:
+    def test_jaccard_identical(self):
+        assert spatial_jaccard(Rect(0, 0, 2, 2), Rect(0, 0, 2, 2)) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert spatial_jaccard(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)) == 0.0
+
+    def test_jaccard_half(self):
+        # [0,2]x[0,1] vs [1,3]x[0,1]: inter 1, union 3.
+        assert spatial_jaccard(Rect(0, 0, 2, 1), Rect(1, 0, 3, 1)) == pytest.approx(1 / 3)
+
+    def test_jaccard_degenerate_identical(self):
+        assert spatial_jaccard(Rect(1, 1, 1, 1), Rect(1, 1, 1, 1)) == 1.0
+
+    def test_jaccard_degenerate_different(self):
+        assert spatial_jaccard(Rect(1, 1, 1, 1), Rect(2, 2, 2, 2)) == 0.0
+
+    def test_dice_vs_jaccard_order(self):
+        a, b = Rect(0, 0, 2, 1), Rect(1, 0, 3, 1)
+        assert spatial_dice(a, b) >= spatial_jaccard(a, b)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+
+@given(rects(), rects())
+def test_intersection_area_symmetric(a, b):
+    assert a.intersection_area(b) == b.intersection_area(a)
+
+
+@given(rects(), rects())
+def test_intersection_area_matches_intersection_rect(a, b):
+    inter = a.intersection(b)
+    if inter is None:
+        assert a.intersection_area(b) == 0.0
+    else:
+        assert a.intersection_area(b) == inter.area
+
+
+@given(rects(), rects())
+def test_intersection_bounded_by_operands(a, b):
+    inter = a.intersection_area(b)
+    assert 0.0 <= inter <= min(a.area, b.area)
+
+
+@given(rects(), rects())
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains(a) and u.contains(b)
+
+
+@given(rects(), rects())
+def test_union_area_inclusion_exclusion(a, b):
+    assert a.union_area(b) == a.area + b.area - a.intersection_area(b)
+
+
+@given(rects(), rects())
+def test_jaccard_range_and_symmetry(a, b):
+    s = spatial_jaccard(a, b)
+    assert 0.0 <= s <= 1.0
+    assert s == spatial_jaccard(b, a)
+
+
+@given(rects())
+def test_jaccard_reflexive(a):
+    assert spatial_jaccard(a, a) == 1.0
+
+
+@given(rects(), rects())
+def test_intersects_consistent_with_area(a, b):
+    if a.intersection_area(b) > 0.0:
+        assert a.intersects(b)
+    if not a.intersects(b):
+        assert a.intersection_area(b) == 0.0
+
+
+@given(rects())
+def test_iter_and_tuple(a):
+    assert tuple(a) == a.as_tuple()
+    assert not math.isnan(a.area)

@@ -1,0 +1,102 @@
+"""Tests for the cost-model grid granularity selection (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datasets import generate_queries
+from repro.geometry import Rect
+from repro.grid.granularity import GranularitySelection, level_filter_cost, select_granularity
+from repro.grid.hierarchy import GridHierarchy
+
+
+class TestLevelFilterCost:
+    def test_single_level_zero(self):
+        """At level 0 every query probes the one global list of size N."""
+        regions = [Rect(i, i, i + 1, i + 1) for i in range(10)]
+        queries = [Rect(2, 2, 3, 3)]
+        h = GridHierarchy(Rect(0, 0, 10, 10), 4)
+        cost = level_filter_cost(regions, queries, h, 0, pi1=1.0)
+        assert cost == pytest.approx(10.0)
+
+    def test_finer_levels_cut_cost_for_separated_data(self):
+        # Two far-apart clusters; queries only touch one of them.
+        regions = [Rect(i * 0.1, 0, i * 0.1 + 0.5, 1, ) for i in range(10)]
+        regions += [Rect(90 + i * 0.1, 99, 90.5 + i * 0.1, 100) for i in range(10)]
+        queries = [Rect(0, 0, 1, 1)]
+        h = GridHierarchy(Rect(0, 0, 100, 100), 4)
+        c0 = level_filter_cost(regions, queries, h, 0)
+        c2 = level_filter_cost(regions, queries, h, 2)
+        assert c2 < c0
+
+    def test_empty_workload_rejected(self):
+        h = GridHierarchy(Rect(0, 0, 10, 10), 2)
+        with pytest.raises(ConfigurationError):
+            level_filter_cost([Rect(0, 0, 1, 1)], [], h, 0)
+
+    def test_pi1_scales_linearly(self):
+        regions = [Rect(0, 0, 5, 5)]
+        queries = [Rect(1, 1, 2, 2)]
+        h = GridHierarchy(Rect(0, 0, 10, 10), 2)
+        assert level_filter_cost(regions, queries, h, 1, pi1=3.0) == pytest.approx(
+            3.0 * level_filter_cost(regions, queries, h, 1, pi1=1.0)
+        )
+
+
+class TestSelectGranularity:
+    def test_returns_selection(self, twitter_small, twitter_small_queries):
+        sel = select_granularity(
+            twitter_small, twitter_small_queries, max_level=6, benefit_threshold=1.0
+        )
+        assert isinstance(sel, GranularitySelection)
+        assert 0 <= sel.level <= 6
+        assert sel.granularity == 2 ** sel.level
+        assert len(sel.costs) >= 1
+
+    def test_costs_trace_has_levels(self, twitter_small, twitter_small_queries):
+        sel = select_granularity(
+            twitter_small, twitter_small_queries, max_level=5, benefit_threshold=0.5
+        )
+        levels = [c.level for c in sel.costs]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+
+    def test_huge_benefit_threshold_stops_at_root(self, twitter_small, twitter_small_queries):
+        sel = select_granularity(
+            twitter_small, twitter_small_queries, max_level=6, benefit_threshold=1e12
+        )
+        assert sel.level == 0
+
+    def test_candidate_counter_included(self, twitter_small, twitter_small_queries):
+        calls = []
+
+        def counter(level: int) -> float:
+            calls.append(level)
+            return 100.0 / (level + 1)
+
+        sel = select_granularity(
+            twitter_small,
+            twitter_small_queries,
+            max_level=4,
+            benefit_threshold=1.0,
+            pi2=2.0,
+            candidate_counter=counter,
+        )
+        assert calls, "candidate counter should be consulted"
+        assert all(c.verify_cost > 0 for c in sel.costs)
+
+    def test_bad_threshold(self, twitter_small, twitter_small_queries):
+        with pytest.raises(ConfigurationError):
+            select_granularity(twitter_small, twitter_small_queries, benefit_threshold=0.0)
+
+    def test_empty_inputs(self, twitter_small, twitter_small_queries):
+        with pytest.raises(ConfigurationError):
+            select_granularity([], twitter_small_queries)
+        with pytest.raises(ConfigurationError):
+            select_granularity(twitter_small, [])
+
+    def test_accepts_bare_rects(self):
+        regions = [Rect(i, i, i + 2, i + 2) for i in range(20)]
+        sel = select_granularity(regions, [Rect(0, 0, 4, 4)], max_level=3, benefit_threshold=0.1)
+        assert 0 <= sel.level <= 3

@@ -1,0 +1,127 @@
+"""Tests for corpus/workload files and engine snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Query, Rect, SealSearch, build_method, make_corpus
+from repro.io import load_corpus, load_engine, load_queries, save_corpus, save_engine, save_queries
+from repro.io.corpus_io import CorpusFormatError
+from repro.io.snapshot import SnapshotError
+
+
+class TestCorpusRoundTrip:
+    def test_round_trip(self, tmp_path, figure1_objects):
+        path = tmp_path / "corpus.jsonl"
+        assert save_corpus(figure1_objects, path) == len(figure1_objects)
+        loaded = load_corpus(path)
+        assert loaded == list(figure1_objects)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"oid":0,"region":[0,0,1,1],"tokens":["a"]}\n\n')
+        assert len(load_corpus(path)) == 1
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text("{nope}\n")
+        with pytest.raises(CorpusFormatError, match="line 1"):
+            load_corpus(path)
+
+    def test_oid_gap_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"oid":5,"region":[0,0,1,1],"tokens":["a"]}\n')
+        with pytest.raises(CorpusFormatError, match="expected oid 0"):
+            load_corpus(path)
+
+    def test_bad_region(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"oid":0,"region":[0,0,1],"tokens":["a"]}\n')
+        with pytest.raises(CorpusFormatError, match="region"):
+            load_corpus(path)
+
+    def test_inverted_region(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"oid":0,"region":[5,0,1,1],"tokens":["a"]}\n')
+        with pytest.raises(CorpusFormatError):
+            load_corpus(path)
+
+    def test_bad_tokens(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"oid":0,"region":[0,0,1,1],"tokens":[1,2]}\n')
+        with pytest.raises(CorpusFormatError, match="tokens"):
+            load_corpus(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(CorpusFormatError, match="JSON object"):
+            load_corpus(path)
+
+
+class TestQueriesRoundTrip:
+    def test_round_trip(self, tmp_path, figure1_query):
+        path = tmp_path / "queries.jsonl"
+        save_queries([figure1_query], path)
+        loaded = load_queries(path)
+        assert loaded == [figure1_query]
+
+    def test_bad_threshold(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        path.write_text('{"region":[0,0,1,1],"tokens":[],"tau_r":1.5,"tau_t":0}\n')
+        with pytest.raises(CorpusFormatError):
+            load_queries(path)
+
+    def test_defaults(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        path.write_text('{"region":[0,0,1,1],"tokens":["a"]}\n')
+        q = load_queries(path)[0]
+        assert q.tau_r == 0.0 and q.tau_t == 0.0
+
+
+class TestSnapshot:
+    def test_round_trip_engine(self, tmp_path):
+        engine = SealSearch(
+            [(Rect(0, 0, 10, 10), {"coffee"}), (Rect(5, 5, 15, 15), {"tea"})],
+            method="token",
+        )
+        path = tmp_path / "engine.pkl"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        probe = (Rect(0, 0, 10, 10), {"coffee"}, 0.5, 0.5)
+        assert restored.search(*probe).answers == engine.search(*probe).answers
+
+    def test_round_trip_method(self, tmp_path, figure1_objects, figure1_weighter, figure1_query):
+        method = build_method(figure1_objects, "seal", figure1_weighter, mt=8, max_level=4)
+        path = tmp_path / "seal.pkl"
+        save_engine(method, path)
+        restored = load_engine(path)
+        assert restored.search(figure1_query).answers == [1]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not found"):
+            load_engine(tmp_path / "nope.pkl")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(SnapshotError):
+            load_engine(path)
+
+    def test_wrong_magic(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "other.pkl"
+        path.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(SnapshotError, match="not a repro engine snapshot"):
+            load_engine(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.pkl"
+        path.write_bytes(
+            pickle.dumps({"magic": "repro-seal-snapshot", "format": 99, "engine": None})
+        )
+        with pytest.raises(SnapshotError, match="format 99"):
+            load_engine(path)

@@ -1,0 +1,77 @@
+"""Tests for global grid orders, including the Hilbert curve."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.signatures.orders import (
+    GRID_ORDERS,
+    get_order_builder,
+    hilbert_d,
+    order_cell_id,
+    order_count_asc,
+    order_count_desc,
+    order_hilbert,
+)
+
+COUNTS = {0: 5, 1: 1, 2: 3, 3: 1}
+
+
+class TestOrders:
+    def test_count_asc(self):
+        ranks = order_count_asc(COUNTS, granularity=2)
+        # counts: 1 -> cells {1, 3} (tie by id), 3 -> 2, 5 -> 0.
+        assert sorted(ranks, key=ranks.__getitem__) == [1, 3, 2, 0]
+
+    def test_count_desc(self):
+        ranks = order_count_desc(COUNTS, granularity=2)
+        assert sorted(ranks, key=ranks.__getitem__) == [0, 2, 1, 3]
+
+    def test_cell_id(self):
+        ranks = order_cell_id(COUNTS, granularity=2)
+        assert sorted(ranks, key=ranks.__getitem__) == [0, 1, 2, 3]
+
+    def test_hilbert_order_is_total(self):
+        counts = {i: 1 for i in range(16)}
+        ranks = order_hilbert(counts, granularity=4)
+        assert sorted(ranks.values()) == list(range(16))
+
+    def test_all_orders_are_permutations(self):
+        for name, builder in GRID_ORDERS.items():
+            ranks = builder(COUNTS, granularity=2)
+            assert sorted(ranks.values()) == list(range(len(COUNTS))), name
+
+    def test_get_order_builder(self):
+        assert get_order_builder("count_asc") is order_count_asc
+
+    def test_get_order_builder_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_order_builder("nope")
+
+
+class TestHilbert:
+    def test_known_values_side2(self):
+        # The order-1 Hilbert curve visits (0,0),(0,1),(1,1),(1,0) as
+        # (x,y); with (col=x, row=y):
+        assert hilbert_d(2, 0, 0) == 0
+        assert hilbert_d(2, 1, 0) == 1
+        assert hilbert_d(2, 1, 1) == 2
+        assert hilbert_d(2, 0, 1) == 3
+
+    def test_bijective_side8(self):
+        ds = {hilbert_d(8, r, c) for r in range(8) for c in range(8)}
+        assert ds == set(range(64))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hilbert_d(6, 0, 0)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_locality(self, row, col):
+        """Neighbouring cells are close on the curve *on average*; at
+        minimum, the mapping stays in range."""
+        d = hilbert_d(16, row, col)
+        assert 0 <= d < 256

@@ -1,0 +1,66 @@
+"""Property-based correctness: random corpora × random queries.
+
+Hypothesis hunts for corner cases the fixed corpora miss — degenerate
+regions, boundary-aligned rectangles, zero thresholds, empty token sets,
+single-object corpora — and asserts the two framework invariants:
+
+1. every method's answers equal the naive scan's answers;
+2. every filter's candidate set contains every naive answer (candidates
+   are a superset — "no false negatives", Section 3.1's key property).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import METHOD_REGISTRY, build_method
+from repro.core.stats import SearchStats
+from repro.text.weights import TokenWeighter
+
+from tests.strategies import corpus_and_query
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_PARAMS = {
+    "grid": {"granularity": 8},
+    "hash-hybrid": {"granularity": 8},
+    "seal": {"mt": 6, "max_level": 4, "min_objects": 0},
+    "irtree": {"max_entries": 4},
+    "spatial-first": {"max_entries": 4},
+}
+
+
+def _methods(corpus):
+    weighter = TokenWeighter(obj.tokens for obj in corpus)
+    return {
+        name: build_method(corpus, name, weighter, **_PARAMS.get(name, {}))
+        for name in METHOD_REGISTRY
+    }
+
+
+@_SETTINGS
+@given(corpus_and_query())
+def test_every_method_matches_naive(corpus_query):
+    corpus, query = corpus_query
+    methods = _methods(corpus)
+    expected = methods["naive"].search(query).answers
+    for name, method in methods.items():
+        got = method.search(query).answers
+        assert got == expected, f"{name}: {got} != {expected} for {query}"
+
+
+@_SETTINGS
+@given(corpus_and_query())
+def test_candidates_superset_of_answers(corpus_query):
+    corpus, query = corpus_query
+    methods = _methods(corpus)
+    expected = set(methods["naive"].search(query).answers)
+    for name, method in methods.items():
+        candidates = set(method.candidates(query, SearchStats()))
+        assert expected <= candidates, (
+            f"{name} lost answers: {expected - candidates} for {query}"
+        )

@@ -1,0 +1,143 @@
+"""Tests for the from-scratch R-tree substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.geometry import Rect
+from repro.rtree import RTree
+
+from tests.strategies import rects
+
+
+def brute_intersecting(items, rect):
+    return sorted(oid for r, oid in items if r.intersects(rect))
+
+
+def brute_min_overlap(items, rect, min_area):
+    return sorted(oid for r, oid in items if r.intersection_area(rect) >= min_area)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.search_intersecting(Rect(0, 0, 1, 1)) == []
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=1)
+
+    def test_bad_min_entries(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=4, min_entries=3)
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_single(self):
+        tree = RTree.bulk_load([(Rect(0, 0, 1, 1), 7)])
+        assert tree.search_intersecting(Rect(0, 0, 2, 2)) == [7]
+        tree.check_invariants()
+
+    def test_bulk_load_packs_levels(self):
+        items = [(Rect(i, 0, i + 0.5, 1), i) for i in range(100)]
+        tree = RTree.bulk_load(items, max_entries=4)
+        assert len(tree) == 100
+        assert tree.height >= 3
+        tree.check_invariants()
+
+
+class TestInsert:
+    def test_insert_and_query(self):
+        tree = RTree(max_entries=4)
+        for i in range(30):
+            tree.insert(Rect(i, i, i + 2, i + 2), i)
+        tree.check_invariants()
+        assert sorted(tree.search_intersecting(Rect(0, 0, 5, 5))) == [0, 1, 2, 3, 4, 5]
+
+    def test_insert_duplicates_allowed(self):
+        tree = RTree(max_entries=2)
+        for i in range(10):
+            tree.insert(Rect(1, 1, 2, 2), i)
+        tree.check_invariants()
+        assert sorted(tree.search_intersecting(Rect(1, 1, 2, 2))) == list(range(10))
+
+    def test_min_fanout_split(self):
+        tree = RTree(max_entries=2)
+        for i in range(50):
+            tree.insert(Rect(i % 7, i // 7, i % 7 + 1, i // 7 + 1), i)
+        tree.check_invariants()
+        assert len(tree) == 50
+
+
+class TestQueries:
+    @pytest.fixture()
+    def items(self):
+        return [(Rect(2 * i, 0, 2 * i + 1, 10), i) for i in range(20)]
+
+    def test_search_matches_brute_force(self, items):
+        tree = RTree.bulk_load(items, max_entries=4)
+        probe = Rect(3, 2, 9, 4)
+        assert sorted(tree.search_intersecting(probe)) == brute_intersecting(items, probe)
+
+    def test_min_overlap_prunes(self, items):
+        tree = RTree.bulk_load(items, max_entries=4)
+        probe = Rect(0, 0, 5, 10)
+        # Overlaps: item0 ∩ = 10, item1 ∩ = 10, item2 ∩ = 10.
+        assert sorted(tree.search_min_overlap(probe, 5.0)) == brute_min_overlap(items, probe, 5.0)
+
+    def test_min_overlap_zero_returns_touching(self, items):
+        tree = RTree.bulk_load(items, max_entries=4)
+        probe = Rect(1, 0, 2, 10)  # touches item 0's edge and covers item 1's left edge
+        assert sorted(tree.search_min_overlap(probe, 0.0)) == brute_min_overlap(items, probe, 0.0)
+
+    def test_node_count_and_iter(self, items):
+        tree = RTree.bulk_load(items, max_entries=4)
+        nodes = list(tree.iter_nodes())
+        assert tree.node_count() == len(nodes)
+        leaves = [n for n in nodes if n.is_leaf]
+        assert sum(len(n.entries) for n in leaves) == len(items)
+
+
+# ----------------------------------------------------------------------
+# Property tests: tree answers == brute force, for both build paths
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rects(), min_size=0, max_size=40), rects(), st.integers(0, 3))
+def test_bulk_load_search_equiv(random_rects, probe, fanout_choice):
+    items = [(r, i) for i, r in enumerate(random_rects)]
+    tree = RTree.bulk_load(items, max_entries=(2, 3, 4, 8)[fanout_choice])
+    tree.check_invariants()
+    assert sorted(tree.search_intersecting(probe)) == brute_intersecting(items, probe)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rects(), min_size=0, max_size=30), rects())
+def test_insert_search_equiv(random_rects, probe):
+    items = [(r, i) for i, r in enumerate(random_rects)]
+    tree = RTree(max_entries=4)
+    for r, oid in items:
+        tree.insert(r, oid)
+    tree.check_invariants()
+    assert sorted(tree.search_intersecting(probe)) == brute_intersecting(items, probe)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(rects(), min_size=0, max_size=30),
+    rects(),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+def test_min_overlap_equiv(random_rects, probe, min_area):
+    items = [(r, i) for i, r in enumerate(random_rects)]
+    tree = RTree.bulk_load(items, max_entries=4)
+    assert sorted(tree.search_min_overlap(probe, min_area)) == brute_min_overlap(
+        items, probe, min_area
+    )

@@ -1,0 +1,149 @@
+"""Tests for the uniform grid: completeness, disjointness, signatures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.geometry import Rect
+from repro.grid.uniform import UniformGrid
+
+from tests.strategies import rects
+
+SPACE = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestConstruction:
+    def test_bad_granularity(self):
+        with pytest.raises(ConfigurationError):
+            UniformGrid(SPACE, 0)
+
+    def test_degenerate_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformGrid(Rect(0, 0, 0, 10), 4)
+
+    def test_num_cells(self):
+        assert UniformGrid(SPACE, 4).num_cells == 16
+
+    def test_cell_area(self):
+        assert UniformGrid(SPACE, 4).cell_area == 625.0
+
+
+class TestCellGeometry:
+    @pytest.fixture()
+    def grid(self):
+        return UniformGrid(SPACE, 4)
+
+    def test_cell_rect(self, grid):
+        assert grid.cell_rect(0) == Rect(0, 0, 25, 25)
+        assert grid.cell_rect(5) == Rect(25, 25, 50, 50)
+        assert grid.cell_rect(15) == Rect(75, 75, 100, 100)
+
+    def test_cell_rect_out_of_range(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_rect(16)
+
+    def test_completeness_and_disjointness(self, grid):
+        """The paper's two grid properties (Section 4.1)."""
+        total = sum(grid.cell_rect(c).area for c in grid.iter_cells())
+        assert total == pytest.approx(SPACE.area)
+        cells = [grid.cell_rect(c) for c in grid.iter_cells()]
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                assert cells[i].intersection_area(cells[j]) == 0.0
+
+    def test_cell_containing(self, grid):
+        assert grid.cell_containing(0, 0) == 0
+        assert grid.cell_containing(30, 30) == 5
+        # Top-right corner belongs to the last cell.
+        assert grid.cell_containing(100, 100) == 15
+        assert grid.cell_containing(101, 50) is None
+        assert grid.cell_containing(-1, 50) is None
+
+
+class TestCellSpan:
+    @pytest.fixture()
+    def grid(self):
+        return UniformGrid(SPACE, 4)
+
+    def test_interior_rect(self, grid):
+        assert grid.cell_span(Rect(10, 10, 40, 40)) == (0, 1, 0, 1)
+
+    def test_rect_on_boundary_half_open(self, grid):
+        # Right edge exactly on the 25-boundary: does NOT reach column 1.
+        assert grid.cell_span(Rect(10, 10, 25, 20)) == (0, 0, 0, 0)
+
+    def test_degenerate_point_on_boundary(self, grid):
+        # A point exactly on a grid line belongs to the upper cell
+        # (half-open ownership).
+        assert grid.cell_span(Rect(25, 25, 25, 25)) == (1, 1, 1, 1)
+
+    def test_rect_outside_space(self, grid):
+        assert grid.cell_span(Rect(200, 200, 300, 300)) is None
+
+    def test_rect_covering_space(self, grid):
+        assert grid.cell_span(Rect(-10, -10, 200, 200)) == (0, 3, 0, 3)
+
+    def test_cells_overlapping_count(self, grid):
+        assert grid.cell_count(Rect(10, 10, 60, 60)) == 9
+        assert len(grid.cells_overlapping(Rect(10, 10, 60, 60))) == 9
+
+
+class TestSignature:
+    @pytest.fixture()
+    def grid(self):
+        return UniformGrid(SPACE, 4)
+
+    def test_weights_sum_to_region_area(self, grid):
+        region = Rect(10, 10, 60, 40)
+        sig = grid.signature(region)
+        assert sum(w for _, w in sig) == pytest.approx(region.area)
+
+    def test_weights_are_intersection_areas(self, grid):
+        region = Rect(10, 10, 60, 40)
+        for cell, weight in grid.signature(region):
+            assert weight == pytest.approx(grid.cell_rect(cell).intersection_area(region))
+
+    def test_degenerate_region_single_cell_zero_weight(self, grid):
+        sig = grid.signature(Rect(30, 30, 30, 30))
+        assert len(sig) == 1
+        assert sig[0] == (5, 0.0)
+
+    def test_region_outside_space_empty(self, grid):
+        assert grid.signature(Rect(500, 500, 600, 600)) == []
+
+    def test_region_partially_outside_clipped(self, grid):
+        sig = grid.signature(Rect(90, 90, 150, 150))
+        assert [c for c, _ in sig] == [15]
+        assert sig[0][1] == pytest.approx(100.0)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(rects(), st.sampled_from([1, 2, 3, 4, 7, 16]))
+def test_signature_covers_clipped_area(region, granularity):
+    grid = UniformGrid(SPACE, granularity)
+    sig = grid.signature(region)
+    clipped = region.intersection_area(SPACE)
+    assert sum(w for _, w in sig) == pytest.approx(clipped)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rects(), rects(), st.sampled_from([2, 4, 8]))
+def test_common_cells_cover_intersection(a, b, granularity):
+    """Key fact behind Lemma 1: the common signature cells of two regions
+    carry at least their mutual overlap |a∩b∩space|."""
+    grid = UniformGrid(SPACE, granularity)
+    sig_a = dict(grid.signature(a))
+    sig_b = dict(grid.signature(b))
+    common = set(sig_a) & set(sig_b)
+    min_sum = sum(min(sig_a[c], sig_b[c]) for c in common)
+    mutual = a.intersection(b)
+    mutual_area = mutual.intersection_area(SPACE) if mutual is not None else 0.0
+    assert min_sum >= mutual_area - 1e-9

@@ -1,0 +1,76 @@
+"""Tests for the verification step (exact threshold checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Query, Rect, TokenWeighter, make_corpus
+from repro.core.verification import Verifier
+
+
+@pytest.fixture()
+def corpus():
+    return make_corpus(
+        [
+            (Rect(0, 0, 10, 10), {"a", "b"}),
+            (Rect(0, 0, 10, 10), {"c"}),
+            (Rect(50, 50, 60, 60), {"a", "b"}),
+            (Rect(5, 5, 5, 5), {"a"}),          # degenerate point
+        ]
+    )
+
+
+@pytest.fixture()
+def verifier(corpus):
+    return Verifier(corpus, TokenWeighter(o.tokens for o in corpus))
+
+
+class TestVerifier:
+    def test_both_thresholds_required(self, verifier):
+        q = Query(Rect(0, 0, 10, 10), frozenset({"a", "b"}), 0.5, 0.5)
+        assert verifier.verify(q, range(4)) == [0]
+
+    def test_spatial_only_failure(self, verifier):
+        q = Query(Rect(50, 50, 60, 60), frozenset({"a", "b"}), 0.5, 0.5)
+        assert verifier.verify(q, range(4)) == [2]
+
+    def test_order_preserved_and_no_dedup_responsibility(self, verifier):
+        q = Query(Rect(0, 0, 10, 10), frozenset({"a", "b"}), 0.0, 0.0)
+        assert verifier.verify(q, [2, 0, 1]) == [2, 0, 1]
+
+    def test_boundary_equality_is_answer(self, verifier):
+        # simR exactly 0.5: query [0,0,10,5] vs object [0,0,10,10].
+        q = Query(Rect(0, 0, 10, 5), frozenset({"a", "b"}), 0.5, 0.0)
+        assert 0 in verifier.verify(q, [0])
+
+    def test_degenerate_query_identical_point(self, verifier):
+        q = Query(Rect(5, 5, 5, 5), frozenset({"a"}), 1.0, 0.5)
+        assert verifier.verify(q, range(4)) == [3]
+
+    def test_degenerate_query_different_point(self, verifier):
+        q = Query(Rect(6, 6, 6, 6), frozenset({"a"}), 0.5, 0.0)
+        assert 3 not in verifier.verify(q, [3])
+
+    def test_degenerate_tau_r_zero_keeps_everything_spatially(self, verifier):
+        q = Query(Rect(99, 99, 100, 100), frozenset({"a", "b"}), 0.0, 0.5)
+        assert verifier.verify(q, range(4)) == [0, 2]
+
+    def test_verify_pair(self, verifier, corpus):
+        q = Query(Rect(0, 0, 10, 10), frozenset({"a", "b"}), 0.5, 0.5)
+        assert verifier.verify_pair(q, corpus[0])
+        assert not verifier.verify_pair(q, corpus[1])
+
+    def test_stats_results_updated(self, verifier):
+        from repro.core.stats import SearchStats
+
+        stats = SearchStats()
+        q = Query(Rect(0, 0, 10, 10), frozenset({"a", "b"}), 0.5, 0.5)
+        verifier.verify(q, range(4), stats)
+        assert stats.results == 1
+
+    def test_zero_weight_union_counts_as_identical(self):
+        # One shared token across the whole corpus: idf 0 everywhere.
+        corpus = make_corpus([(Rect(0, 0, 1, 1), {"x"}), (Rect(0, 0, 1, 1), {"x"})])
+        verifier = Verifier(corpus, TokenWeighter(o.tokens for o in corpus))
+        q = Query(Rect(0, 0, 1, 1), frozenset({"x"}), 0.5, 1.0)
+        assert verifier.verify(q, range(2)) == [0, 1]

@@ -1,0 +1,7 @@
+"""Paper-figure and execution-layer benchmarks.
+
+A real package (not a namespace package) so that pytest and the bench
+modules agree on one ``benchmarks.conftest`` module instance — the
+``emit``/``pytest_terminal_summary`` report queue lives there, and two
+instances would silently swallow every report table.
+"""

@@ -27,11 +27,9 @@ def variants(twitter_corpus, twitter_weighter):
         "TokenFilter (Sig-Filter)": TokenFilter(
             twitter_corpus, twitter_weighter, prefix_pruning=False
         ),
-        "GridFilter (Sig-Filter+)": GridFilter(
-            twitter_corpus, GRANULARITY, twitter_weighter
-        ),
+        "GridFilter (Sig-Filter+)": GridFilter(twitter_corpus, twitter_weighter, granularity=GRANULARITY),
         "GridFilter (Sig-Filter)": GridFilter(
-            twitter_corpus, GRANULARITY, twitter_weighter, prefix_pruning=False
+            twitter_corpus, twitter_weighter, granularity=GRANULARITY, prefix_pruning=False
         ),
     }
 

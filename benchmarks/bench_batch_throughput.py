@@ -1,0 +1,191 @@
+"""Execution-layer throughput: per-query loop vs batch vs sharded.
+
+Not a paper figure — this benchmarks the :mod:`repro.exec` layer the
+scaling roadmap builds on.  Three comparisons over one generated corpus
+(default 10k objects, env-overridable like the other benches):
+
+1. **Batch vs per-query** (small-region workload, recall-oriented
+   thresholds): ``BatchExecutor`` must beat the sequential
+   ``method.search`` loop on queries/sec — the shared vectorised
+   verification scratch is the win.
+2. **Sharded K-scaling** (large-region, low thresholds — a filter-bound
+   workload): the per-query *critical-path* filter time (max over
+   shards, i.e. the latency under ideal parallel hardware) and the
+   max-shard postings scanned should both shrink as K grows.
+3. **Sharded batch throughput** for K ∈ {1, 2, 4}, both partition
+   policies, for the wall-clock view (on GIL builds thread fan-out adds
+   overhead; the critical-path numbers are the scaling signal).
+
+Results print as the usual fixed-width tables plus a JSON report
+(``format_json_report``) for machines; set ``REPRO_BENCH_JSON`` to also
+write the JSON to a file.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import BatchExecutor, TokenWeighter, build_method
+from repro.bench import format_json_report, format_table, measure_throughput, write_json_report
+from repro.datasets import generate_queries
+from repro.exec.sharded import ShardedSealSearch
+
+from benchmarks.conftest import emit, make_twitter_corpus
+
+BATCH_N = int(os.environ.get("REPRO_BENCH_BATCH_N", "10000"))
+BATCH_QUERIES = int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", "64"))
+REPEATS = int(os.environ.get("REPRO_BENCH_BATCH_REPEATS", "3"))
+SHARD_COUNTS = (1, 2, 4)
+
+#: Method-name -> constructor params for the batch comparison; spans a
+#: verify-bound method (naive), a filter+verify mix (token) and the
+#: paper's best (seal).
+BATCH_METHODS = {
+    "naive": {},
+    "token": {},
+    "seal": {"mt": 16, "max_level": 7, "min_objects": 8},
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_twitter_corpus(BATCH_N)
+
+
+@pytest.fixture(scope="module")
+def weighter(corpus):
+    return TokenWeighter(obj.tokens for obj in corpus)
+
+
+@pytest.fixture(scope="module")
+def small_queries(corpus):
+    """Small regions, recall-oriented thresholds: candidate sets are big
+    enough (≈80 for seal at 10k) that verification carries real work per
+    query — the regime batching exists for."""
+    return list(
+        generate_queries(corpus, "small", num_queries=BATCH_QUERIES, seed=13, tau_r=0.2, tau_t=0.2)
+    )
+
+
+@pytest.fixture(scope="module")
+def filter_bound_queries(corpus):
+    """Large regions + low thresholds: long posting scans, so the filter
+    step carries per-object work that sharding can actually divide."""
+    return list(
+        generate_queries(corpus, "large", num_queries=BATCH_QUERIES, seed=13, tau_r=0.15, tau_t=0.15)
+    )
+
+
+def _report_json(name: str, title: str, data: object) -> None:
+    """Queue the JSON block for the terminal summary; with
+    ``REPRO_BENCH_JSON=<dir>`` also write it to ``<dir>/<name>``."""
+    emit(format_json_report(title, data))
+    directory = os.environ.get("REPRO_BENCH_JSON")
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        write_json_report(os.path.join(directory, name), title, data)
+
+
+@pytest.mark.benchmark(group="exec-throughput")
+def test_batch_vs_single_query(benchmark, corpus, weighter, small_queries):
+    def run():
+        rows = {}
+        payload = {}
+        for name, params in BATCH_METHODS.items():
+            method = build_method(corpus, name, weighter, **params)
+            executor = BatchExecutor()
+
+            def serial(queries):
+                for query in queries:
+                    method.search(query)
+
+            executor.run(method, small_queries)  # warm the shared scratch
+            single = measure_throughput(serial, small_queries, repeats=REPEATS)
+            batched = measure_throughput(
+                lambda queries: executor.run(method, queries), small_queries, repeats=REPEATS
+            )
+            speedup = batched.qps / single.qps if single.qps else 0.0
+            rows[name] = [round(single.qps), round(batched.qps), f"{speedup:.2f}x"]
+            payload[name] = {"single": single, "batched": batched, "speedup": speedup}
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    title = (
+        f"Batch vs per-query execution — {BATCH_N} objects, "
+        f"{BATCH_QUERIES} small-region queries (queries/sec)"
+    )
+    emit(format_table(title, "method", ["single q/s", "batch q/s", "speedup"], rows))
+    _report_json("batch_vs_single.json", title, payload)
+
+
+#: Methods for the shard-scaling comparison: ``keyword-first`` has an
+#: object-bound filter step (postings scanned ∝ shard size), so its
+#: critical path shows the 1/K scaling cleanly; ``seal`` filters so
+#: selectively that per-query signature setup dominates — its scaling
+#: shows up in max-shard postings scanned rather than wall time.
+SCALING_METHODS = {
+    "keyword-first": {},
+    "seal": {"mt": 16, "max_level": 7, "min_objects": 8},
+}
+
+
+@pytest.mark.benchmark(group="exec-throughput")
+def test_sharded_filter_scaling(benchmark, corpus, filter_bound_queries):
+    pairs = [(obj.region, obj.tokens) for obj in corpus]
+
+    def run():
+        rows = {}
+        payload = {}
+        for name, params in SCALING_METHODS.items():
+            for k in SHARD_COUNTS:
+                engine = ShardedSealSearch(
+                    pairs, name, shards=k, partition="round-robin", **params
+                )
+                results = [engine.search_query(q) for q in filter_bound_queries]
+                n = len(results)
+                critical_ms = 1000.0 * sum(r.stats.filter_seconds for r in results) / n
+                max_entries = sum(
+                    max(s.entries_retrieved for s in r.per_shard) for r in results
+                ) / n
+                rows[f"{name} K={k}"] = [f"{critical_ms:.3f}", round(max_entries)]
+                payload[f"{name}-K{k}"] = {
+                    "critical_path_filter_ms": critical_ms,
+                    "max_shard_entries_retrieved": max_entries,
+                }
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    title = (
+        f"Sharded filter scaling (round-robin, critical path = max over shards) — "
+        f"{BATCH_N} objects, filter-bound workload"
+    )
+    emit(format_table(
+        title, "method/shards", ["crit filter ms", "max-shard entries"], rows,
+    ))
+    _report_json("sharded_scaling.json", title, payload)
+
+
+@pytest.mark.benchmark(group="exec-throughput")
+def test_sharded_partition_policies(benchmark, corpus, small_queries):
+    pairs = [(obj.region, obj.tokens) for obj in corpus]
+
+    def run():
+        rows = {}
+        payload = {}
+        for partition in ("round-robin", "spatial"):
+            for k in SHARD_COUNTS:
+                engine = ShardedSealSearch(
+                    pairs, "seal", shards=k, partition=partition,
+                    mt=16, max_level=7, min_objects=8,
+                )
+                batch = measure_throughput(engine.search_batch, small_queries, repeats=REPEATS)
+                rows[f"{partition} K={k}"] = [round(batch.qps), f"{batch.mean_ms:.3f}"]
+                payload[f"{partition}-K{k}"] = batch
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    title = f"Sharded batch throughput by partition policy — {BATCH_N} objects"
+    emit(format_table(title, "engine", ["batch q/s", "ms/query"], rows))
+    _report_json("sharded_policies.json", title, payload)

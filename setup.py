@@ -1,11 +1,20 @@
-"""Legacy-editable-install shim.
+"""Classic setuptools metadata (``pip install -e .`` friendly).
 
 This environment has no network and no ``wheel`` package, so PEP 517
-editable builds cannot run; with this shim (plus ``use-pep517 = false`` /
-``no-build-isolation`` in pip config) ``pip install -e .`` takes the
-classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+editable builds cannot run; keeping the metadata here (rather than in a
+pyproject.toml) lets ``pip install -e .`` take the classic
+``setup.py develop`` path with ``use-pep517 = false`` /
+``no-build-isolation`` in pip config.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="seal-repro",
+    version="1.1.0",
+    description="SEAL spatio-textual similarity search (PVLDB 2012 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["seal-repro=repro.cli:main"]},
+)

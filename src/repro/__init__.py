@@ -20,6 +20,23 @@ Quickstart::
     for oid in result:
         print(engine.object(oid))
 
+**The execution layer** (:mod:`repro.exec`) separates *how* queries run
+from *what* the filters compute.  ``SearchMethod.search`` is one trip
+through the canonical filter→verify pipeline
+(:func:`repro.exec.pipeline.execute_query`); the same pipeline drives:
+
+* ``engine.search_batch(queries)`` — a :class:`~repro.exec.BatchExecutor`
+  runs the batch with shared verification scratch (vectorised spatial
+  checks over per-corpus NumPy buffers) and aggregate
+  :class:`~repro.exec.BatchStats`;
+* :class:`~repro.exec.ShardedSealSearch` — the corpus partitioned into K
+  shards (round-robin or spatial policy), one index per shard, queries
+  fanned out over a thread pool and answers merged back to global oids.
+
+Executors never change answers — batched and sharded results are
+guaranteed identical to sequential per-query search, and the test suite
+pins that for every registry method.
+
 See ``DESIGN.md`` for the module map and ``EXPERIMENTS.md`` for the
 reproduction of the paper's evaluation.
 """
@@ -30,16 +47,23 @@ from repro.core.errors import ConfigurationError, IndexBuildError, InvalidQueryE
 from repro.core.objects import Corpus, Query, SpatioTextualObject, make_corpus
 from repro.core.similarity import spatial_similarity, textual_similarity
 from repro.core.stats import SearchResult, SearchStats
+from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.pipeline import Executor, SerialExecutor, execute_query
+from repro.exec.sharded import ShardedSealSearch
 from repro.filters import GridFilter, HierarchicalFilter, HybridFilter, TokenFilter
 from repro.geometry import Rect
 from repro.text import TokenWeighter, tokenize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "METHOD_REGISTRY",
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
     "ConfigurationError",
     "Corpus",
+    "Executor",
     "GridFilter",
     "HierarchicalFilter",
     "HybridFilter",
@@ -54,11 +78,14 @@ __all__ = [
     "SealSearch",
     "SearchResult",
     "SearchStats",
+    "SerialExecutor",
+    "ShardedSealSearch",
     "SpatialFirstSearch",
     "SpatioTextualObject",
     "TokenFilter",
     "TokenWeighter",
     "build_method",
+    "execute_query",
     "make_corpus",
     "spatial_similarity",
     "textual_similarity",

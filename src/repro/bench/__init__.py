@@ -7,13 +7,28 @@ module is a thin declaration of the experiment, and so the printed
 series line up with the paper's figures one-for-one.
 """
 
-from repro.bench.harness import WorkloadMeasurement, measure_workload, sweep
-from repro.bench.reporting import format_series_table, format_table
+from repro.bench.harness import (
+    ThroughputMeasurement,
+    WorkloadMeasurement,
+    measure_throughput,
+    measure_workload,
+    sweep,
+)
+from repro.bench.reporting import (
+    format_json_report,
+    format_series_table,
+    format_table,
+    write_json_report,
+)
 
 __all__ = [
+    "ThroughputMeasurement",
     "WorkloadMeasurement",
+    "format_json_report",
     "format_series_table",
     "format_table",
+    "measure_throughput",
     "measure_workload",
     "sweep",
+    "write_json_report",
 ]

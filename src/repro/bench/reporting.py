@@ -9,6 +9,9 @@ technical report carries.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+from pathlib import Path
 from typing import Dict, Mapping, Sequence
 
 from repro.bench.harness import WorkloadMeasurement
@@ -62,6 +65,27 @@ def format_series_table(
         for name, sweep_ in series.items()
     }
     return format_table(title, axis_name, columns, rows)
+
+
+def format_json_report(title: str, data: object) -> str:
+    """Machine-readable companion to the text tables.
+
+    Wraps ``data`` in a ``{"title": ..., "data": ...}`` envelope with
+    sorted keys and dataclass support (measurement dataclasses serialise
+    to plain objects), so benchmark output diffs cleanly across runs.
+    """
+    return json.dumps({"title": title, "data": data}, default=_json_default, sort_keys=True, indent=2)
+
+
+def write_json_report(path: "str | Path", title: str, data: object) -> None:
+    """Write :func:`format_json_report` output to ``path``."""
+    Path(path).write_text(format_json_report(title, data) + "\n")
+
+
+def _json_default(value: object):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
 
 
 def _fmt(value: object) -> str:

@@ -6,9 +6,12 @@ Everything the library does, scriptable without writing Python::
         --queries queries.jsonl --kind small
     seal-repro stats corpus.jsonl
     seal-repro build corpus.jsonl --method seal --out engine.pkl
+    seal-repro build corpus.jsonl --method seal --shards 4 \\
+        --partition spatial --out sharded.pkl
     seal-repro query engine.pkl --region 10,10,20,20 --tokens coffee,tea \\
         --tau-r 0.3 --tau-t 0.3
     seal-repro query engine.pkl --queries queries.jsonl
+    seal-repro query engine.pkl --batch-file queries.jsonl
     seal-repro sweep corpus.jsonl --methods seal,irtree --axis tau_r
 
 (Also reachable as ``python -m repro``.)
@@ -26,6 +29,9 @@ import numpy as np
 from repro import Query, Rect, SealError, TokenWeighter, build_method
 from repro.bench import format_series_table, measure_workload, sweep as run_sweep
 from repro.core.engine import METHOD_REGISTRY
+from repro.exec.batch import BatchExecutor
+from repro.exec.partition import PARTITION_POLICIES
+from repro.exec.sharded import ShardedSealSearch
 from repro.datasets import generate_queries, generate_twitter, generate_usa
 from repro.io import load_corpus, load_engine, load_queries, save_corpus, save_engine, save_queries
 
@@ -82,6 +88,14 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("corpus")
     build.add_argument("--method", choices=sorted(METHOD_REGISTRY), default="seal")
     build.add_argument("--out", required=True, help="snapshot path (.pkl)")
+    build.add_argument(
+        "--shards", type=int, default=None,
+        help="build a sharded engine with this many partitions",
+    )
+    build.add_argument(
+        "--partition", choices=sorted(PARTITION_POLICIES), default="round-robin",
+        help="shard partitioning policy (with --shards)",
+    )
     for name, type_ in _METHOD_PARAMS.items():
         build.add_argument(f"--{name.replace('_', '-')}", type=type_, default=None)
     build.set_defaults(handler=_cmd_build)
@@ -93,6 +107,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--tau-r", type=float, default=0.4)
     query.add_argument("--tau-t", type=float, default=0.4)
     query.add_argument("--queries", help="JSONL workload instead of a single query")
+    query.add_argument(
+        "--batch-file",
+        help="JSONL workload run through the batch executor (shared scratch, "
+             "throughput summary) instead of query-at-a-time",
+    )
     query.add_argument("--show", type=int, default=10, help="answers to print per query")
     query.set_defaults(handler=_cmd_query)
 
@@ -161,23 +180,56 @@ def _cmd_build(args: argparse.Namespace) -> int:
         if getattr(args, name, None) is not None
     }
     started = time.perf_counter()
-    method = build_method(objects, args.method, **params)
+    if args.shards is not None:
+        engine = ShardedSealSearch(
+            ((obj.region, obj.tokens) for obj in objects),
+            args.method,
+            shards=args.shards,
+            partition=args.partition,
+            **params,
+        )
+        label = f"{args.method} × {engine.num_shards} {args.partition} shards"
+    else:
+        engine = build_method(objects, args.method, **params)
+        label = args.method
     elapsed = time.perf_counter() - started
-    save_engine(method, args.out)
-    report = method.index_size()
+    save_engine(engine, args.out)
+    report = engine.index_size()
     size = f", index {report.total_mb:.2f} MB" if report is not None else ""
-    print(f"built {args.method} over {len(objects)} objects in {elapsed:.1f}s{size}; "
+    print(f"built {label} over {len(objects)} objects in {elapsed:.1f}s{size}; "
           f"snapshot at {args.out}")
     return 0
 
 
+def _engine_search(engine, query: Query):
+    """Run one query against either a method or a sharded engine."""
+    if hasattr(engine, "search_query"):
+        return engine.search_query(query)
+    return engine.search(query)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    method = load_engine(args.engine)
+    engine = load_engine(args.engine)
+    if args.batch_file:
+        queries = load_queries(args.batch_file)
+        if hasattr(engine, "search_batch"):
+            batch = engine.search_batch(queries)
+        else:
+            batch = BatchExecutor().run(engine, queries)
+        for i, result in enumerate(batch):
+            shown = result.answers[: args.show]
+            more = f" (+{len(result) - len(shown)} more)" if len(result) > len(shown) else ""
+            print(f"query {i}: {len(result)} answers {shown}{more}")
+        stats = batch.stats
+        print(f"batch: {stats.queries} queries in {stats.elapsed_seconds:.3f}s "
+              f"({stats.qps:.0f} q/s, {stats.mean_ms:.2f} ms/query)")
+        return 0
     if args.queries:
         queries = load_queries(args.queries)
     else:
         if not args.region or args.tokens is None:
-            print("error: provide --region and --tokens, or --queries", file=sys.stderr)
+            print("error: provide --region and --tokens, --queries, or --batch-file",
+                  file=sys.stderr)
             return 2
         coords = [float(v) for v in args.region.split(",")]
         if len(coords) != 4:
@@ -187,7 +239,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         queries = [Query(Rect(*coords), tokens, args.tau_r, args.tau_t)]
 
     for i, query in enumerate(queries):
-        result = method.search(query)
+        result = _engine_search(engine, query)
         shown = result.answers[: args.show]
         more = f" (+{len(result) - len(shown)} more)" if len(result) > len(shown) else ""
         print(f"query {i}: {len(result)} answers {shown}{more} — "

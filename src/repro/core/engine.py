@@ -18,6 +18,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.method import SearchMethod
 from repro.core.objects import Query, SpatioTextualObject, make_corpus
 from repro.core.stats import SearchResult
+from repro.exec.batch import BatchExecutor, BatchResult
 from repro.filters.grid_filter import GridFilter
 from repro.filters.hierarchical_filter import HierarchicalFilter
 from repro.filters.hybrid_filter import HybridFilter
@@ -55,7 +56,9 @@ def build_method(
             same corpus with one weighter keeps similarity semantics (and
             work) shared.
         **params: Method-specific knobs (``granularity``, ``mt``,
-            ``num_buckets``, ``max_entries``, …).
+            ``num_buckets``, ``max_entries``, …), all keyword-only on the
+            constructors, so any registry entry builds with one uniform
+            call — executors rely on that.
 
     Raises:
         ConfigurationError: For unknown method names.
@@ -65,17 +68,6 @@ def build_method(
     except KeyError:
         valid = ", ".join(sorted(METHOD_REGISTRY))
         raise ConfigurationError(f"unknown method {name!r}; valid methods: {valid}") from None
-    if name == "grid":
-        # GridFilter's positional order is (objects, granularity, weighter).
-        granularity = params.pop("granularity", 256)
-        return ctor(objects, granularity, weighter, **params)
-    if name == "hash-hybrid":
-        granularity = params.pop("granularity", 256)
-        return ctor(objects, granularity, weighter, **params)
-    if name == "seal":
-        mt = params.pop("mt", 32)
-        max_level = params.pop("max_level", 8)
-        return ctor(objects, mt, max_level, weighter, **params)
     return ctor(objects, weighter, **params)
 
 
@@ -123,6 +115,23 @@ class SealSearch:
     def search_query(self, query: Query) -> SearchResult:
         """Search with a prebuilt :class:`~repro.core.objects.Query`."""
         return self.method.search(query)
+
+    def search_batch(
+        self, queries: Sequence[Query], *, executor: BatchExecutor | None = None
+    ) -> BatchResult:
+        """Run many queries with shared per-batch setup.
+
+        Answers are identical to calling :meth:`search_query` per query;
+        the batch executor amortises verification scratch across the
+        batch and aggregates a :class:`~repro.exec.batch.BatchStats`.
+
+        Args:
+            queries: Prebuilt queries, executed in order.
+            executor: Override the default :class:`BatchExecutor` (e.g.
+                to disable vectorised verification).
+        """
+        batcher = executor if executor is not None else BatchExecutor()
+        return batcher.run(self.method, list(queries))
 
     def object(self, oid: int) -> SpatioTextualObject:
         """Resolve an answer oid back to its object."""

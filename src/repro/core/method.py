@@ -4,7 +4,9 @@ Every search strategy in the library — the four SEAL signature filters and
 the four baselines — is a :class:`SearchMethod`: it owns its index, turns
 a query into a candidate oid collection (*filter step*), and delegates the
 *verification step* to the shared :class:`~repro.core.verification.Verifier`.
-``search`` wires the two steps together with timing instrumentation.
+``search`` delegates the wiring of the two steps to the execution
+pipeline (:func:`repro.exec.pipeline.execute_query`), so batching and
+sharding executors can drive any method through the exact same path.
 """
 
 from __future__ import annotations
@@ -13,8 +15,9 @@ import abc
 from typing import Collection, Sequence
 
 from repro.core.objects import Corpus, Query, SpatioTextualObject
-from repro.core.stats import SearchResult, SearchStats, Stopwatch
+from repro.core.stats import SearchResult, SearchStats
 from repro.core.verification import Verifier
+from repro.exec.pipeline import execute_query
 from repro.index.storage import IndexSizeReport
 from repro.text.weights import TokenWeighter
 
@@ -52,16 +55,12 @@ class SearchMethod(abc.ABC):
         """Filter step: a superset of the answer oids (Step 1, Sec. 3.1)."""
 
     def search(self, query: Query) -> SearchResult:
-        """Filter, then verify; answers come back sorted by oid."""
-        stats = SearchStats()
-        watch = Stopwatch()
-        candidate_oids = self.candidates(query, stats)
-        stats.filter_seconds = watch.lap()
-        stats.candidates = len(candidate_oids)
-        answers = self.verifier.verify(query, candidate_oids, stats)
-        stats.verify_seconds = watch.lap()
-        answers.sort()
-        return SearchResult(answers=answers, stats=stats)
+        """Filter, then verify; answers come back sorted by oid.
+
+        One query through the canonical execution pipeline; use an
+        executor from :mod:`repro.exec` for batched or sharded workloads.
+        """
+        return execute_query(self, query)
 
     # ------------------------------------------------------------------
     # Introspection

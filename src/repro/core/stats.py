@@ -37,6 +37,17 @@ class SearchStats:
     def total_seconds(self) -> float:
         return self.filter_seconds + self.verify_seconds
 
+    def copy(self) -> "SearchStats":
+        """An independent copy (executors merge into copies, never share)."""
+        return SearchStats(
+            lists_probed=self.lists_probed,
+            entries_retrieved=self.entries_retrieved,
+            candidates=self.candidates,
+            results=self.results,
+            filter_seconds=self.filter_seconds,
+            verify_seconds=self.verify_seconds,
+        )
+
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's counters into this one (workload totals)."""
         self.lists_probed += other.lists_probed

@@ -1,0 +1,50 @@
+"""The execution layer: how queries run, separate from what filters compute.
+
+* :mod:`repro.exec.pipeline` — the canonical filter→verify pipeline
+  (``execute_query``) and the :class:`Executor` interface with the
+  reference :class:`SerialExecutor`.
+* :mod:`repro.exec.batch` — :class:`BatchExecutor`: batches share scratch
+  (vectorised verification buffers) and aggregate :class:`BatchStats`.
+* :mod:`repro.exec.partition` — corpus partitioning policies for sharding.
+* :mod:`repro.exec.sharded` — :class:`ShardedSealSearch`: K per-shard
+  indexes behind one facade, answers identical to the unsharded engine.
+
+Every executor preserves exact answer semantics: batching and sharding
+change *throughput*, never results.
+"""
+
+from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.partition import PARTITION_POLICIES, get_partition_policy
+from repro.exec.pipeline import Executor, SerialExecutor, execute_query
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
+    "Executor",
+    "PARTITION_POLICIES",
+    "SerialExecutor",
+    "ShardedSealSearch",
+    "ShardedSearchResult",
+    "execute_query",
+    "get_partition_policy",
+    "shutdown_shared_pool",
+]
+
+#: Names resolved lazily (PEP 562): ``sharded`` imports the engine, which
+#: imports the method base class, which imports this package — so eager
+#: import here would cycle.  Lazy resolution breaks the loop.
+_LAZY = {
+    "ShardedSealSearch": "repro.exec.sharded",
+    "ShardedSearchResult": "repro.exec.sharded",
+    "shutdown_shared_pool": "repro.exec.sharded",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

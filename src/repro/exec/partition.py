@@ -1,0 +1,75 @@
+"""Corpus partitioning policies for sharded execution.
+
+A policy maps a corpus to ``k`` disjoint oid lists covering every object.
+Empty parts are legal (fewer objects than shards); the sharded engine
+skips them.  Both policies are deterministic, so a sharded engine built
+twice from the same corpus is identical — snapshots and benchmarks rely
+on that.
+
+* ``round-robin`` stripes oids modulo ``k``: perfectly balanced, and the
+  right default when queries land anywhere in the space.
+* ``spatial`` sorts objects by region centre (x, then y, then oid) and
+  cuts the order into ``k`` equal slabs: objects near each other land in
+  the same shard, so a query region tends to produce candidates in few
+  shards and the per-shard grids stay tight around their slab.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.objects import SpatioTextualObject
+
+#: A policy: ``(objects, k) -> k disjoint oid lists covering the corpus``.
+PartitionFn = Callable[[Sequence[SpatioTextualObject], int], List[List[int]]]
+
+
+def _check_shards(shards: int) -> None:
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+
+
+def partition_round_robin(
+    objects: Sequence[SpatioTextualObject], shards: int
+) -> List[List[int]]:
+    """Stripe oids across shards: oid ``i`` lands in shard ``i % shards``."""
+    _check_shards(shards)
+    return [list(range(start, len(objects), shards)) for start in range(shards)]
+
+
+def partition_spatial(
+    objects: Sequence[SpatioTextualObject], shards: int
+) -> List[List[int]]:
+    """Equal-size slabs of the centre-sorted corpus (x, then y, then oid)."""
+    _check_shards(shards)
+    ordered = sorted(range(len(objects)), key=lambda oid: (*objects[oid].region.center, oid))
+    n = len(ordered)
+    base, extra = divmod(n, shards)
+    parts: List[List[int]] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        parts.append(ordered[start : start + size])
+        start += size
+    return parts
+
+
+#: policy name -> partition function (the ``partition=`` knob of
+#: :class:`repro.exec.sharded.ShardedSealSearch` and the CLI's
+#: ``--partition``).
+PARTITION_POLICIES: Dict[str, PartitionFn] = {
+    "round-robin": partition_round_robin,
+    "spatial": partition_spatial,
+}
+
+
+def get_partition_policy(name: str) -> PartitionFn:
+    """Resolve a policy by name, with a helpful error for typos."""
+    try:
+        return PARTITION_POLICIES[name]
+    except KeyError:
+        valid = ", ".join(sorted(PARTITION_POLICIES))
+        raise ConfigurationError(
+            f"unknown partition policy {name!r}; valid policies: {valid}"
+        ) from None

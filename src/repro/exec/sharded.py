@@ -1,0 +1,294 @@
+"""Sharded execution: K independent per-shard indexes behind one facade.
+
+:class:`ShardedSealSearch` partitions the corpus into K shards (policies
+in :mod:`repro.exec.partition`), builds an independent index per shard,
+fans each query out over a ``concurrent.futures`` thread pool, and merges
+the per-shard answers back to global oids.
+
+Two properties make sharded answers *identical* to the unsharded engine:
+
+* **One corpus-global ``TokenWeighter``** is built from the full corpus
+  and shared by every shard, so idf weights — and therefore textual
+  similarities and thresholds — are exactly those of the unsharded
+  engine.  (Spatial similarity is pure geometry and needs no sharing.)
+* **Exact verification per shard**: each shard's filter only ever
+  over-approximates its own objects' answers, and the shared verifier
+  semantics then accept exactly the globally-correct subset.  The union
+  over shards is therefore the global answer set, oid-for-oid.
+
+Merged per-query stats sum the work counters across shards and take the
+**maximum** per-shard filter/verify seconds — the parallel critical path,
+which is the number that should shrink as K grows.  Per-shard stats ride
+along on the result for benchmarks that want the full distribution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.core.engine import build_method
+from repro.core.errors import ConfigurationError
+from repro.core.method import SearchMethod
+from repro.core.objects import Query, SpatioTextualObject, make_corpus
+from repro.core.stats import SearchResult, SearchStats
+from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.partition import get_partition_policy
+from repro.exec.pipeline import execute_query
+from repro.geometry import Rect
+from repro.index.storage import IndexSizeReport
+from repro.text.weights import TokenWeighter
+
+#: One process-wide pool shared by every sharded engine: shards are
+#: short-lived independent tasks, and a shared pool avoids spawning (and
+#: leaking) threads per engine instance.
+_POOL: ThreadPoolExecutor | None = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _POOL
+    if _POOL is None:
+        _POOL = ThreadPoolExecutor(
+            max_workers=max(4, os.cpu_count() or 1), thread_name_prefix="seal-shard"
+        )
+    return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared shard pool (tests / clean interpreter exit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+
+
+@dataclass(slots=True)
+class ShardedSearchResult(SearchResult):
+    """A merged answer plus the per-shard stats behind it.
+
+    ``stats`` sums work counters over shards and carries the critical-path
+    (max-over-shards) filter/verify seconds; ``per_shard`` keeps each
+    shard's own counters for scaling analysis.
+    """
+
+    per_shard: List[SearchStats]
+
+
+class _Shard:
+    """One shard: a method over re-oided objects plus the oid mapping."""
+
+    __slots__ = ("method", "to_global")
+
+    def __init__(self, method: SearchMethod, to_global: List[int]) -> None:
+        self.method = method
+        self.to_global = to_global
+
+
+def _merge_shard_results(
+    shard_results: Sequence[SearchResult], shards: Sequence[_Shard]
+) -> ShardedSearchResult:
+    answers: List[int] = []
+    per_shard: List[SearchStats] = []
+    merged = SearchStats()
+    for shard, result in zip(shards, shard_results):
+        to_global = shard.to_global
+        answers.extend(to_global[oid] for oid in result.answers)
+        per_shard.append(result.stats)
+        merged.merge(result.stats)
+    # Counters sum; elapsed time is the parallel critical path.
+    merged.filter_seconds = max((s.filter_seconds for s in per_shard), default=0.0)
+    merged.verify_seconds = max((s.verify_seconds for s in per_shard), default=0.0)
+    answers.sort()
+    merged.results = len(answers)
+    return ShardedSearchResult(answers=answers, stats=merged, per_shard=per_shard)
+
+
+class ShardedSealSearch:
+    """Spatio-textual search over a corpus partitioned into K shards.
+
+    Drop-in facade-compatible with :class:`~repro.core.engine.SealSearch`
+    (``search``, ``search_query``, ``search_batch``, ``object``,
+    ``similarities``, ``len``), with answers guaranteed identical to the
+    unsharded engine.
+
+    Args:
+        data: ``(region, tokens)`` pairs describing the ROIs.
+        method: Registry method name built per shard (default ``seal``).
+        shards: Number of partitions K (empty partitions are skipped).
+        partition: Policy name from
+            :data:`repro.exec.partition.PARTITION_POLICIES`.
+        max_workers: Cap for a private thread pool; ``None`` (default)
+            uses the process-wide shared pool.
+        **params: Method constructor knobs, passed to every shard.
+
+    Examples:
+        >>> engine = ShardedSealSearch(
+        ...     [(Rect(0, 0, 10, 10), {"coffee"}), (Rect(40, 40, 50, 50), {"tea"})],
+        ...     method="token", shards=2,
+        ... )
+        >>> list(engine.search(Rect(1, 1, 9, 9), {"coffee"}, tau_r=0.2, tau_t=0.3))
+        [0]
+    """
+
+    def __init__(
+        self,
+        data: Iterable[tuple[Rect, Iterable[str]]],
+        method: str = "seal",
+        *,
+        shards: int = 2,
+        partition: str = "round-robin",
+        max_workers: int | None = None,
+        **params,
+    ) -> None:
+        policy = get_partition_policy(partition)
+        self.objects = make_corpus(data)
+        if not self.objects:
+            raise ConfigurationError("ShardedSealSearch requires at least one object")
+        self.method_name = method
+        self.shards = shards
+        self.partition = partition
+        self.params = dict(params)
+        # The corpus-global weighter: every shard shares it, so similarity
+        # semantics match the unsharded engine exactly.
+        self.weighter = TokenWeighter(obj.tokens for obj in self.objects)
+        self._shards: List[_Shard] = []
+        for oids in policy(self.objects, shards):
+            if not oids:
+                continue
+            local_objects = [
+                SpatioTextualObject(i, self.objects[oid].region, self.objects[oid].tokens)
+                for i, oid in enumerate(oids)
+            ]
+            shard_method = build_method(local_objects, method, self.weighter, **params)
+            self._shards.append(_Shard(shard_method, list(oids)))
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _executor_pool(self) -> ThreadPoolExecutor:
+        if self._max_workers is None:
+            return _shared_pool()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="seal-shard"
+            )
+        return self._pool
+
+    def _fan_out(self, task, *args) -> List:
+        """Run ``task(shard, *args)`` for every shard, in the pool."""
+        if len(self._shards) == 1:
+            return [task(self._shards[0], *args)]
+        pool = self._executor_pool()
+        futures = [pool.submit(task, shard, *args) for shard in self._shards]
+        return [future.result() for future in futures]
+
+    def search_query(self, query: Query) -> ShardedSearchResult:
+        """Fan one query out to every shard and merge global-oid answers."""
+        shard_results = self._fan_out(
+            lambda shard, q: execute_query(shard.method, q), query
+        )
+        return _merge_shard_results(shard_results, self._shards)
+
+    def search(
+        self,
+        region: Rect,
+        tokens: Iterable[str],
+        tau_r: float,
+        tau_t: float,
+    ) -> ShardedSearchResult:
+        """Find all objects with ``simR ≥ tau_r`` and ``simT ≥ tau_t``."""
+        query = Query(region=region, tokens=frozenset(tokens), tau_r=tau_r, tau_t=tau_t)
+        return self.search_query(query)
+
+    def search_batch(
+        self, queries: Sequence[Query], *, executor: BatchExecutor | None = None
+    ) -> BatchResult:
+        """Run a batch against every shard and merge per-query answers.
+
+        Each shard processes the whole batch with the batch executor's
+        shared scratch; merging then happens once per query.
+        """
+        queries = list(queries)
+        batcher = executor if executor is not None else BatchExecutor()
+        started = time.perf_counter()
+        shard_batches: List[BatchResult] = self._fan_out(
+            lambda shard, qs: batcher.run(shard.method, qs), queries
+        )
+        results: List[SearchResult] = [
+            _merge_shard_results([batch.results[i] for batch in shard_batches], self._shards)
+            for i in range(len(queries))
+        ]
+        elapsed = time.perf_counter() - started
+        totals = SearchStats()
+        for result in results:
+            totals.merge(result.stats)
+        return BatchResult(
+            results=results,
+            stats=BatchStats(queries=len(queries), totals=totals, elapsed_seconds=elapsed),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def object(self, oid: int) -> SpatioTextualObject:
+        """Resolve an answer oid back to its (global) object."""
+        return self.objects[oid]
+
+    def similarities(self, query: Query, oid: int) -> tuple[float, float]:
+        """The exact (spatial, textual) similarities of one object."""
+        from repro.core.similarity import spatial_similarity, textual_similarity
+
+        obj = self.objects[oid]
+        return (
+            spatial_similarity(query.region, obj.region),
+            textual_similarity(query.tokens, obj.tokens, self.weighter),
+        )
+
+    def index_size(self) -> IndexSizeReport | None:
+        """Summed per-shard index accounting; None if any shard lacks it."""
+        reports = [shard.method.index_size() for shard in self._shards]
+        if any(report is None for report in reports):
+            return None
+        return IndexSizeReport(
+            num_lists=sum(r.num_lists for r in reports),
+            num_postings=sum(r.num_postings for r in reports),
+            directory_bytes=sum(r.directory_bytes for r in reports),
+            posting_bytes=sum(r.posting_bytes for r in reports),
+            page_bytes=sum(r.page_bytes for r in reports),
+        )
+
+    @property
+    def num_shards(self) -> int:
+        """Shards actually built (≤ the requested K for tiny corpora)."""
+        return len(self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard.to_global) for shard in self._shards]
+
+    def close(self) -> None:
+        """Shut down the private pool, if any (the shared pool persists)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSealSearch(|O|={len(self.objects)}, method={self.method_name!r}, "
+            f"shards={self.num_shards}/{self.shards}, partition={self.partition!r})"
+        )
+
+    # Thread pools cannot be pickled; snapshots rebuild them lazily.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from repro.baselines.naive import NaiveSearch
 from repro.core.engine import build_method
 from repro.core.method import SearchMethod
 from repro.core.objects import Query, SpatioTextualObject
-from repro.core.stats import SearchResult, SearchStats, Stopwatch
-from repro.core.verification import Verifier
+from repro.core.stats import SearchResult
+from repro.exec.pipeline import execute_query
 from repro.geometry import Rect
 from repro.text.weights import TokenWeighter
 
@@ -75,9 +76,9 @@ class UpdatableSealSearch:
         self.main: SearchMethod = build_method(
             self._objects, self._method_name, self.weighter, **self._params
         )
-        # Delta verification reuses main-corpus idf weights (see module
-        # docstring); the verifier is rebuilt whenever the pool changes.
-        self._delta_verifier: Verifier | None = None
+        # Delta search reuses main-corpus idf weights (see module
+        # docstring); the scan method is rebuilt whenever the pool changes.
+        self._delta_method: NaiveSearch | None = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -87,7 +88,7 @@ class UpdatableSealSearch:
         """Add one object; returns its oid (stable across the rebuild)."""
         oid = len(self._objects) + len(self._delta)
         self._delta.append(SpatioTextualObject(oid, region, frozenset(tokens)))
-        self._delta_verifier = None
+        self._delta_method = None
         if len(self._delta) > self.rebuild_threshold * len(self._objects):
             self._merge()
         return oid
@@ -108,24 +109,32 @@ class UpdatableSealSearch:
     # ------------------------------------------------------------------
 
     def search(self, region: Rect, tokens: Iterable[str], tau_r: float, tau_t: float) -> SearchResult:
-        """Merged main + delta search; answers sorted by oid."""
+        """Merged main + delta search; answers sorted by oid.
+
+        Composes two pipeline runs — the static index and an exhaustive
+        scan of the delta pool — and merges them into a *fresh* stats
+        object, so callers holding the main result's stats never see them
+        mutate and workload aggregation stays correct.
+        """
         query = Query(region=region, tokens=frozenset(tokens), tau_r=tau_r, tau_t=tau_t)
-        result = self.main.search(query)
+        main_result = self.main.search(query)
         if not self._delta:
-            return result
-        watch = Stopwatch()
-        if self._delta_verifier is None:
-            # The pool verifier addresses pool objects by position.
+            stats = main_result.stats.copy()
+            stats.results = len(main_result.answers)
+            return SearchResult(answers=list(main_result.answers), stats=stats)
+        if self._delta_method is None:
+            # The pool scan addresses pool objects by position.
             reindexed = [
                 SpatioTextualObject(i, obj.region, obj.tokens)
                 for i, obj in enumerate(self._delta)
             ]
-            self._delta_verifier = Verifier(reindexed, self.weighter)
-        hits = self._delta_verifier.verify(query, range(len(self._delta)))
-        answers = sorted(result.answers + [self._delta[i].oid for i in hits])
-        stats: SearchStats = result.stats
-        stats.candidates += len(self._delta)
-        stats.verify_seconds += watch.lap()
+            self._delta_method = NaiveSearch(reindexed, self.weighter)
+        delta_result = execute_query(self._delta_method, query)
+        answers = sorted(
+            main_result.answers + [self._delta[i].oid for i in delta_result.answers]
+        )
+        stats = main_result.stats.copy()
+        stats.merge(delta_result.stats)
         stats.results = len(answers)
         return SearchResult(answers=answers, stats=stats)
 

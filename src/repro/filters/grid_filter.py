@@ -23,8 +23,8 @@ class GridFilter(SingleSchemeFilter):
 
     Args:
         objects: The corpus.
-        granularity: Cells per side ``p`` (the paper sweeps 64 … 8192).
         weighter: Corpus idf statistics (verification needs them).
+        granularity: Cells per side ``p`` (the paper sweeps 64 … 8192).
         space: Partitioned space; defaults to the corpus MBR.
         order: Global cell order (ablation hook; paper uses
             ``"count_asc"``).
@@ -41,9 +41,9 @@ class GridFilter(SingleSchemeFilter):
     def __init__(
         self,
         objects: Sequence[SpatioTextualObject],
-        granularity: int = 256,
         weighter: TokenWeighter | None = None,
         *,
+        granularity: int = 256,
         space: Rect | None = None,
         order: str = "count_asc",
         prefix_pruning: bool = True,

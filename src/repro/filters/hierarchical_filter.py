@@ -37,11 +37,11 @@ class HierarchicalFilter(SearchMethod):
 
     Args:
         objects: The corpus.
+        weighter: Corpus idf statistics (built if omitted).
         mt: Per-token grid budget (max hierarchical cells per token).
             With ``budget_scaling`` this becomes the *cap*.
         max_level: Finest grid-tree level HSS may refine to; level ``l``
             cells have side ``space_side / 2^l``.
-        weighter: Corpus idf statistics (built if omitted).
         space: Grid-tree space; defaults to the corpus MBR.
         min_objects: Tokens appearing in at most this many objects keep
             the trivial root partition (their lists are short already).
@@ -63,10 +63,10 @@ class HierarchicalFilter(SearchMethod):
     def __init__(
         self,
         objects: Sequence[SpatioTextualObject],
-        mt: int = 32,
-        max_level: int = 8,
         weighter: TokenWeighter | None = None,
         *,
+        mt: int = 32,
+        max_level: int = 8,
         space: Rect | None = None,
         min_objects: int = 4,
         budget_scaling: float | None = None,

@@ -51,8 +51,8 @@ class HybridFilter(SearchMethod):
 
     Args:
         objects: The corpus.
-        granularity: Grid cells per side for the spatial half.
         weighter: Corpus idf statistics (built if omitted).
+        granularity: Grid cells per side for the spatial half.
         num_buckets: Cap on the number of inverted lists; ``None`` keeps
             exact ``(token, cell)`` keys (no collisions).  Collisions cost
             only extra candidates — never missed answers — because every
@@ -66,9 +66,9 @@ class HybridFilter(SearchMethod):
     def __init__(
         self,
         objects: Sequence[SpatioTextualObject],
-        granularity: int = 256,
         weighter: TokenWeighter | None = None,
         *,
+        granularity: int = 256,
         num_buckets: int | None = None,
         space: Rect | None = None,
         order: str = "count_asc",

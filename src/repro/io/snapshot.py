@@ -18,7 +18,9 @@ from typing import Any
 from repro.core.errors import SealError
 
 #: Bump when index internals change incompatibly.
-SNAPSHOT_FORMAT = 1
+#: 2: execution-layer refactor — keyword-only method constructors and
+#:    sharded engines (``ShardedSealSearch``) inside snapshots.
+SNAPSHOT_FORMAT = 2
 
 _MAGIC = "repro-seal-snapshot"
 

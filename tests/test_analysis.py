@@ -61,7 +61,7 @@ class TestFilteringPower:
 
         methods = {
             "token": TokenFilter(figure1_objects, figure1_weighter),
-            "grid": GridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE),
+            "grid": GridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE),
         }
         reports = compare_filtering_power(methods, [figure1_query])
         assert set(reports) == {"token", "grid"}

@@ -106,6 +106,47 @@ class TestBuildAndQuery:
                    "--granularity", "8"])
         assert rc == 0
 
+    def test_build_sharded_then_query(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "sharded.pkl"
+        rc = main(
+            ["build", str(corpus_file), "--method", "seal", "--out", str(engine),
+             "--shards", "3", "--partition", "spatial", "--mt", "8", "--max-level", "4"]
+        )
+        assert rc == 0
+        assert "seal × 3 spatial shards over 7 objects" in capsys.readouterr().out
+        rc = main(
+            ["query", str(engine), "--region", "35,10,75,70",
+             "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3"]
+        )
+        assert rc == 0
+        assert "1 answers [1]" in capsys.readouterr().out
+
+    def test_query_batch_file(self, corpus_file, tmp_path, capsys, figure1_query):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        capsys.readouterr()
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query, figure1_query], workload)
+        rc = main(["query", str(engine), "--batch-file", str(workload)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query 0: 1 answers [1]" in out
+        assert "query 1: 1 answers [1]" in out
+        assert "batch: 2 queries" in out
+
+    def test_query_batch_file_sharded_engine(self, corpus_file, tmp_path, capsys, figure1_query):
+        engine = tmp_path / "sharded.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine),
+              "--shards", "2"])
+        capsys.readouterr()
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query], workload)
+        rc = main(["query", str(engine), "--batch-file", str(workload)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query 0: 1 answers [1]" in out
+        assert "batch: 1 queries" in out
+
 
 class TestSweep:
     def test_sweep_prints_table(self, tmp_path, capsys):

@@ -1,0 +1,140 @@
+"""Batched execution must be answer-identical to per-query search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    METHOD_REGISTRY,
+    BatchExecutor,
+    BatchResult,
+    Query,
+    Rect,
+    SealSearch,
+    build_method,
+)
+from repro.datasets import generate_queries
+
+from tests.strategies import corpora, queries as query_strategy
+
+#: Keep indexes small and the threshold grid low enough that candidate
+#: sets exceed the vectorisation cutoff on the 400-object corpus.
+METHOD_PARAMS = {
+    "grid": {"granularity": 16},
+    "hash-hybrid": {"granularity": 16, "num_buckets": 512},
+    "seal": {"mt": 8, "max_level": 6, "min_objects": 2},
+    "irtree": {"max_entries": 8},
+}
+
+
+@pytest.fixture(scope="module")
+def workload(twitter_small):
+    out = []
+    for tau_r, tau_t in [(0.1, 0.1), (0.4, 0.4), (0.0, 0.3), (0.3, 0.0)]:
+        out.extend(
+            generate_queries(twitter_small, "small", num_queries=4, seed=29, tau_r=tau_r, tau_t=tau_t)
+        )
+        out.extend(
+            generate_queries(twitter_small, "large", num_queries=2, seed=31, tau_r=tau_r, tau_t=tau_t)
+        )
+    return out
+
+
+class TestBatchEqualsPerQuery:
+    @pytest.mark.parametrize("name", sorted(METHOD_REGISTRY))
+    def test_every_registry_method(self, name, twitter_small, twitter_small_weighter, workload):
+        method = build_method(
+            twitter_small, name, twitter_small_weighter, **METHOD_PARAMS.get(name, {})
+        )
+        expected = [method.search(q).answers for q in workload]
+        batch = BatchExecutor().run(method, workload)
+        assert batch.answers() == expected, name
+
+    @pytest.mark.parametrize("name", sorted(METHOD_REGISTRY))
+    def test_vector_path_forced(self, name, twitter_small, twitter_small_weighter, workload):
+        """min_vector_candidates=1 pushes every candidate set through the
+        vectorised verifier; answers must not change."""
+        method = build_method(
+            twitter_small, name, twitter_small_weighter, **METHOD_PARAMS.get(name, {})
+        )
+        expected = [method.search(q).answers for q in workload]
+        vectorised = BatchExecutor(min_vector_candidates=1).run(method, workload)
+        scalar = BatchExecutor(vectorized=False).run(method, workload)
+        assert vectorised.answers() == expected, name
+        assert scalar.answers() == expected, name
+
+    def test_per_query_stats_counters_match(self, twitter_small, twitter_small_weighter, workload):
+        method = build_method(twitter_small, "token", twitter_small_weighter)
+        batch = BatchExecutor().run(method, workload)
+        for result, query in zip(batch, workload):
+            reference = method.search(query)
+            assert result.stats.candidates == reference.stats.candidates
+            assert result.stats.results == reference.stats.results
+            assert result.stats.lists_probed == reference.stats.lists_probed
+            assert result.stats.entries_retrieved == reference.stats.entries_retrieved
+
+
+class TestBatchVectorVerifierProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(corpus_query=corpora(min_size=1, max_size=12).flatmap(
+        lambda objs: query_strategy().map(lambda q: (objs, q))
+    ))
+    def test_vectorised_verify_equals_scalar(self, corpus_query):
+        objects, query = corpus_query
+        method = build_method(objects, "naive")
+        expected = method.search(query).answers
+        batch = BatchExecutor(min_vector_candidates=1).run(method, [query])
+        assert batch.answers() == [expected]
+
+
+class TestBatchResultAndStats:
+    def test_aggregate_totals(self, twitter_small, twitter_small_weighter, workload):
+        method = build_method(twitter_small, "token", twitter_small_weighter)
+        batch = BatchExecutor().run(method, workload)
+        stats = batch.stats
+        assert stats.queries == len(workload) == len(batch)
+        assert stats.totals.results == sum(len(r.answers) for r in batch)
+        assert stats.totals.candidates == sum(r.stats.candidates for r in batch)
+        assert stats.elapsed_seconds > 0.0
+        assert stats.qps > 0.0
+        assert stats.mean_ms == pytest.approx(1000.0 * stats.elapsed_seconds / stats.queries)
+
+    def test_empty_batch(self, twitter_small, twitter_small_weighter):
+        method = build_method(twitter_small, "token", twitter_small_weighter)
+        batch = BatchExecutor().run(method, [])
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 0
+        assert batch.stats.queries == 0
+        assert batch.stats.qps == 0.0
+        assert batch.stats.mean_ms == 0.0
+
+    def test_indexing_and_iteration(self, twitter_small, twitter_small_weighter, workload):
+        method = build_method(twitter_small, "token", twitter_small_weighter)
+        batch = BatchExecutor().run(method, workload)
+        assert batch[0].answers == list(batch)[0].answers
+
+
+class TestSearchBatchFacade:
+    def test_matches_search_query(self):
+        engine = SealSearch(
+            [
+                (Rect(0, 0, 10, 10), {"coffee", "mocha"}),
+                (Rect(2, 2, 12, 12), {"coffee", "starbucks"}),
+                (Rect(50, 50, 60, 60), {"tea"}),
+            ],
+            method="token",
+        )
+        batch_queries = [
+            Query(Rect(1, 1, 9, 9), frozenset({"coffee"}), 0.2, 0.2),
+            Query(Rect(49, 49, 61, 61), frozenset({"tea"}), 0.5, 0.5),
+            Query(Rect(0, 0, 60, 60), frozenset({"coffee", "tea"}), 0.0, 0.0),
+        ]
+        batch = engine.search_batch(batch_queries)
+        assert batch.answers() == [engine.search_query(q).answers for q in batch_queries]
+
+    def test_custom_executor(self):
+        engine = SealSearch([(Rect(0, 0, 1, 1), {"a"})], method="naive")
+        query = Query(Rect(0, 0, 1, 1), frozenset({"a"}), 0.5, 0.5)
+        batch = engine.search_batch([query], executor=BatchExecutor(vectorized=False))
+        assert batch.answers() == [[0]]

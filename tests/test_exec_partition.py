@@ -1,0 +1,78 @@
+"""Tests for the corpus partitioning policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.exec.partition import (
+    PARTITION_POLICIES,
+    get_partition_policy,
+    partition_round_robin,
+    partition_spatial,
+)
+
+from tests.strategies import corpora
+
+
+class TestPolicyContract:
+    """Every policy must produce k disjoint oid lists covering the corpus."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(objects=corpora(min_size=1, max_size=12), shards=st.integers(1, 6))
+    @pytest.mark.parametrize("name", sorted(PARTITION_POLICIES))
+    def test_disjoint_cover(self, name, objects, shards):
+        parts = PARTITION_POLICIES[name](objects, shards)
+        assert len(parts) == shards
+        flat = [oid for part in parts for oid in part]
+        assert sorted(flat) == list(range(len(objects)))
+
+    @pytest.mark.parametrize("name", sorted(PARTITION_POLICIES))
+    def test_deterministic(self, name, figure1_objects):
+        policy = PARTITION_POLICIES[name]
+        assert policy(figure1_objects, 3) == policy(figure1_objects, 3)
+
+    @pytest.mark.parametrize("name", sorted(PARTITION_POLICIES))
+    def test_balanced(self, name, figure1_objects):
+        sizes = sorted(len(p) for p in PARTITION_POLICIES[name](figure1_objects, 3))
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("name", sorted(PARTITION_POLICIES))
+    def test_bad_shard_count(self, name, figure1_objects):
+        with pytest.raises(ConfigurationError):
+            PARTITION_POLICIES[name](figure1_objects, 0)
+
+
+class TestRoundRobin:
+    def test_stripes_modulo(self, figure1_objects):
+        parts = partition_round_robin(figure1_objects, 3)
+        assert parts == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_more_shards_than_objects(self, figure1_objects):
+        parts = partition_round_robin(figure1_objects, 10)
+        assert sum(1 for p in parts if p) == len(figure1_objects)
+        assert sum(1 for p in parts if not p) == 10 - len(figure1_objects)
+
+
+class TestSpatial:
+    def test_slabs_ordered_by_centre_x(self, figure1_objects):
+        parts = partition_spatial(figure1_objects, 2)
+        max_left = max(figure1_objects[oid].region.center[0] for oid in parts[0])
+        min_right = min(figure1_objects[oid].region.center[0] for oid in parts[1])
+        assert max_left <= min_right
+
+    def test_single_shard_is_whole_corpus(self, figure1_objects):
+        parts = partition_spatial(figure1_objects, 1)
+        assert sorted(parts[0]) == list(range(len(figure1_objects)))
+
+
+class TestLookup:
+    def test_known(self):
+        assert get_partition_policy("round-robin") is partition_round_robin
+        assert get_partition_policy("spatial") is partition_spatial
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown partition policy"):
+            get_partition_policy("hilbert")

@@ -1,0 +1,84 @@
+"""Tests for the execution pipeline and the executor interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import METHOD_REGISTRY, SerialExecutor, build_method, execute_query
+from repro.core.stats import SearchResult
+
+
+class TestExecuteQuery:
+    def test_matches_method_search(self, figure1_objects, figure1_weighter, figure1_query):
+        for name in METHOD_REGISTRY:
+            method = build_method(figure1_objects, name, figure1_weighter)
+            via_pipeline = execute_query(method, figure1_query)
+            via_search = method.search(figure1_query)
+            assert via_pipeline.answers == via_search.answers == [1], name
+
+    def test_stats_filled(self, figure1_objects, figure1_weighter, figure1_query):
+        method = build_method(figure1_objects, "token", figure1_weighter)
+        result = execute_query(method, figure1_query)
+        stats = result.stats
+        assert stats.candidates >= stats.results == len(result.answers)
+        assert stats.filter_seconds >= 0.0
+        assert stats.verify_seconds >= 0.0
+
+    def test_verify_override_used(self, figure1_objects, figure1_weighter, figure1_query):
+        method = build_method(figure1_objects, "naive", figure1_weighter)
+        calls = []
+
+        def fake_verify(query, candidates, stats):
+            calls.append(len(candidates))
+            return method.verifier.verify(query, candidates, stats)
+
+        result = execute_query(method, figure1_query, verify=fake_verify)
+        assert calls == [len(figure1_objects)]
+        assert result.answers == [1]
+
+    def test_answers_sorted(self, figure1_objects, figure1_weighter):
+        from repro import Query, Rect
+
+        method = build_method(figure1_objects, "naive", figure1_weighter)
+        query = Query(Rect(0, 0, 120, 120), frozenset(), 0.0, 0.0)
+        result = execute_query(method, query)
+        assert result.answers == sorted(result.answers)
+        assert result.answers == list(range(len(figure1_objects)))
+
+
+class TestSerialExecutor:
+    def test_runs_in_order(self, figure1_objects, figure1_weighter, twitter_small_queries):
+        method = build_method(figure1_objects, "token", figure1_weighter)
+        results = SerialExecutor().run(method, list(twitter_small_queries))
+        assert len(results) == len(twitter_small_queries)
+        for result, query in zip(results, twitter_small_queries):
+            assert isinstance(result, SearchResult)
+            assert result.answers == method.search(query).answers
+
+    def test_empty_workload(self, figure1_objects, figure1_weighter):
+        method = build_method(figure1_objects, "token", figure1_weighter)
+        assert SerialExecutor().run(method, []) == []
+
+
+class TestUniformRegistryConstruction:
+    """The satellite fix: no per-name special cases in build_method."""
+
+    def test_keyword_params_reach_every_filter(self, figure1_objects, figure1_weighter):
+        grid = build_method(figure1_objects, "grid", figure1_weighter, granularity=8)
+        assert grid.granularity == 8
+        hybrid = build_method(
+            figure1_objects, "hash-hybrid", figure1_weighter, granularity=8, num_buckets=64
+        )
+        assert hybrid.granularity == 8 and hybrid.num_buckets == 64
+        seal = build_method(figure1_objects, "seal", figure1_weighter, mt=4, max_level=3)
+        assert seal.mt == 4
+
+    def test_positional_knobs_rejected(self, figure1_objects, figure1_weighter):
+        from repro import GridFilter, HierarchicalFilter, HybridFilter
+
+        with pytest.raises(TypeError):
+            GridFilter(figure1_objects, 8, figure1_weighter)
+        with pytest.raises(TypeError):
+            HybridFilter(figure1_objects, 8, figure1_weighter)
+        with pytest.raises(TypeError):
+            HierarchicalFilter(figure1_objects, 4, 3, figure1_weighter)

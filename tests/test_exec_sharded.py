@@ -1,0 +1,200 @@
+"""Sharded answers must equal unsharded answers, oid-for-oid."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import METHOD_REGISTRY, Query, Rect, SealSearch, ShardedSealSearch
+from repro.core.errors import ConfigurationError
+from repro.datasets import generate_queries
+from repro.exec.partition import PARTITION_POLICIES
+from repro.exec.sharded import ShardedSearchResult
+
+from tests.strategies import corpora, queries as query_strategy
+
+#: Small-index knobs so building K indexes per example stays fast.
+METHOD_PARAMS = {
+    "grid": {"granularity": 8},
+    "hash-hybrid": {"granularity": 8},
+    "seal": {"mt": 4, "max_level": 4},
+    "irtree": {"max_entries": 8},
+}
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _pairs(objects):
+    return [(obj.region, obj.tokens) for obj in objects]
+
+
+class TestHypothesisEquivalence:
+    """The acceptance property: ShardedSealSearch(shards=K) ≡ SealSearch
+    for Hypothesis-generated corpora, both policies, K ∈ {1, 2, 4}."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        objects=corpora(min_size=1, max_size=10),
+        query=query_strategy(),
+        shards=st.sampled_from(SHARD_COUNTS),
+    )
+    @pytest.mark.parametrize("partition", sorted(PARTITION_POLICIES))
+    def test_seal_method(self, partition, objects, query, shards):
+        flat = SealSearch(_pairs(objects), method="seal", mt=4, max_level=4)
+        sharded = ShardedSealSearch(
+            _pairs(objects), "seal", shards=shards, partition=partition, mt=4, max_level=4
+        )
+        assert sharded.search_query(query).answers == flat.search_query(query).answers
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        objects=corpora(min_size=1, max_size=10),
+        query=query_strategy(),
+        shards=st.sampled_from(SHARD_COUNTS),
+        partition=st.sampled_from(sorted(PARTITION_POLICIES)),
+        method=st.sampled_from(sorted(METHOD_REGISTRY)),
+    )
+    def test_every_registry_method(self, objects, query, shards, partition, method):
+        params = METHOD_PARAMS.get(method, {})
+        flat = SealSearch(_pairs(objects), method=method, **params)
+        sharded = ShardedSealSearch(
+            _pairs(objects), method, shards=shards, partition=partition, **params
+        )
+        assert sharded.search_query(query).answers == flat.search_query(query).answers
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("partition", sorted(PARTITION_POLICIES))
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_twitter_workload(self, twitter_small, partition, shards):
+        pairs = _pairs(twitter_small)
+        flat = SealSearch(pairs, method="seal", mt=8, max_level=6, min_objects=2)
+        sharded = ShardedSealSearch(
+            pairs, "seal", shards=shards, partition=partition,
+            mt=8, max_level=6, min_objects=2,
+        )
+        queries = generate_queries(
+            twitter_small, "small", num_queries=8, seed=3, tau_r=0.2, tau_t=0.2
+        )
+        for query in queries:
+            assert sharded.search_query(query).answers == flat.search_query(query).answers
+
+    @pytest.mark.parametrize("partition", sorted(PARTITION_POLICIES))
+    def test_search_batch_matches_per_query(self, twitter_small, partition):
+        pairs = _pairs(twitter_small)
+        sharded = ShardedSealSearch(
+            pairs, "token", shards=3, partition=partition
+        )
+        queries = list(generate_queries(
+            twitter_small, "small", num_queries=8, seed=5, tau_r=0.2, tau_t=0.2
+        ))
+        batch = sharded.search_batch(queries)
+        assert batch.answers() == [sharded.search_query(q).answers for q in queries]
+        assert batch.stats.queries == len(queries)
+
+
+class TestShardedFacade:
+    @pytest.fixture()
+    def engine(self):
+        return ShardedSealSearch(
+            [
+                (Rect(0, 0, 10, 10), {"coffee", "mocha"}),
+                (Rect(2, 2, 12, 12), {"coffee", "starbucks"}),
+                (Rect(50, 50, 60, 60), {"tea"}),
+            ],
+            method="token",
+            shards=2,
+        )
+
+    def test_search_signature_matches_sealsearch(self, engine):
+        result = engine.search(Rect(1, 1, 9, 9), {"coffee", "mocha"}, tau_r=0.3, tau_t=0.3)
+        assert 0 in result
+
+    def test_result_carries_per_shard_stats(self, engine):
+        query = Query(Rect(0, 0, 60, 60), frozenset({"coffee"}), 0.1, 0.1)
+        result = engine.search_query(query)
+        assert isinstance(result, ShardedSearchResult)
+        assert len(result.per_shard) == engine.num_shards
+        assert result.stats.results == len(result.answers)
+        # Counters sum over shards; seconds are the critical path (max).
+        assert result.stats.candidates == sum(s.candidates for s in result.per_shard)
+        assert result.stats.filter_seconds == max(s.filter_seconds for s in result.per_shard)
+
+    def test_object_and_len(self, engine):
+        assert len(engine) == 3
+        assert engine.object(2).tokens == {"tea"}
+
+    def test_global_oids_preserved(self, engine):
+        result = engine.search(Rect(0, 0, 100, 100), {"coffee", "tea", "mocha"}, 0.0, 0.0)
+        assert result.answers == [0, 1, 2]
+
+    def test_similarities(self, engine):
+        query = Query(Rect(0, 0, 10, 10), frozenset({"coffee", "mocha"}), 0.1, 0.1)
+        sim_r, sim_t = engine.similarities(query, 0)
+        assert sim_r == 1.0 and sim_t == 1.0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSealSearch([], shards=2)
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSealSearch([(Rect(0, 0, 1, 1), {"a"})], partition="hilbert")
+
+    def test_more_shards_than_objects(self):
+        engine = ShardedSealSearch(
+            [(Rect(0, 0, 1, 1), {"a"}), (Rect(5, 5, 6, 6), {"b"})],
+            method="token",
+            shards=8,
+        )
+        assert engine.num_shards == 2  # empty partitions skipped
+        result = engine.search(Rect(0, 0, 6, 6), {"a", "b"}, 0.0, 0.0)
+        assert result.answers == [0, 1]
+
+    def test_shard_sizes_cover_corpus(self, engine):
+        assert sum(engine.shard_sizes()) == len(engine)
+
+    def test_index_size_sums_shards(self, twitter_small):
+        pairs = _pairs(twitter_small)
+        flat = SealSearch(pairs, method="token")
+        sharded = ShardedSealSearch(pairs, "token", shards=2)
+        assert (
+            sharded.index_size().num_postings == flat.method.index_size().num_postings
+        )
+
+    def test_index_size_none_for_naive(self):
+        engine = ShardedSealSearch([(Rect(0, 0, 1, 1), {"a"})], method="naive", shards=1)
+        assert engine.index_size() is None
+
+    def test_private_pool_close(self):
+        engine = ShardedSealSearch(
+            [(Rect(0, 0, 1, 1), {"a"}), (Rect(5, 5, 6, 6), {"b"})],
+            method="token",
+            shards=2,
+            max_workers=2,
+        )
+        query = Query(Rect(0, 0, 6, 6), frozenset({"a"}), 0.0, 0.0)
+        assert engine.search_query(query).answers == [0, 1]
+        engine.close()
+        # Usable again after close: the pool is rebuilt lazily.
+        assert engine.search_query(query).answers == [0, 1]
+
+
+class TestGlobalWeighterSemantics:
+    def test_shards_share_corpus_idf(self):
+        """A token common globally but rare within one shard must keep its
+        *global* idf — the similarity the paper defines — not a
+        shard-local one."""
+        data = [
+            (Rect(0, 0, 1, 1), {"common", "rare"}),
+            (Rect(10, 10, 11, 11), {"common"}),
+            (Rect(20, 20, 21, 21), {"common"}),
+            (Rect(30, 30, 31, 31), {"common", "other"}),
+        ]
+        flat = SealSearch(data, method="token")
+        sharded = ShardedSealSearch(data, "token", shards=2, partition="round-robin")
+        for shard in sharded._shards:
+            assert shard.method.weighter is sharded.weighter
+        query = Query(Rect(0, 0, 1, 1), frozenset({"common", "rare"}), 0.2, 0.45)
+        assert sharded.search_query(query).answers == flat.search_query(query).answers

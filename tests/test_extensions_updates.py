@@ -74,3 +74,40 @@ class TestUpdatableEngine:
         engine.insert(Rect(0, 0, 5, 5), {"coffee", "tag0"})
         result = engine.search(Rect(0, 0, 5, 5), {"coffee", "tag0"}, 0.2, 0.2)
         assert result.answers == sorted(result.answers)
+
+
+class TestStatsFreshness:
+    """The satellite fix: search must never alias the main method's stats."""
+
+    def test_no_delta_path_returns_fresh_stats(self, engine):
+        probe = (Rect(0, 0, 5, 5), {"coffee", "tag0"}, 0.3, 0.3)
+        first = engine.search(*probe)
+        assert first.stats.results == len(first.answers)
+        snapshot = first.stats.copy()
+        second = engine.search(*probe)
+        assert second.stats is not first.stats
+        # The earlier result's stats are untouched by later searches.
+        assert first.stats.candidates == snapshot.candidates
+        assert first.stats.results == snapshot.results
+
+    def test_delta_path_returns_fresh_merged_stats(self, engine):
+        probe = (Rect(0, 0, 5, 5), {"coffee", "tag0"}, 0.2, 0.2)
+        before = engine.search(*probe)
+        before_candidates = before.stats.candidates
+        engine.insert(Rect(100, 100, 105, 105), {"tea"})
+        assert engine.pending > 0
+        merged = engine.search(*probe)
+        assert merged.stats is not before.stats
+        assert merged.stats.results == len(merged.answers)
+        # Delta-pool objects count as candidates on top of the main scan.
+        assert merged.stats.candidates == before_candidates + engine.pending
+        # And the earlier result's stats never mutate retroactively.
+        assert before.stats.candidates == before_candidates
+
+    def test_repeated_searches_do_not_accumulate(self, engine):
+        engine.insert(Rect(100, 100, 105, 105), {"tea"})
+        probe = (Rect(0, 0, 5, 5), {"coffee"}, 0.2, 0.2)
+        first = engine.search(*probe)
+        second = engine.search(*probe)
+        assert first.stats.candidates == second.stats.candidates
+        assert first.answers == second.answers

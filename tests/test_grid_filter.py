@@ -13,7 +13,7 @@ from tests.conftest import FIGURE1_SPACE
 class TestPaperExample3:
     @pytest.fixture()
     def grid_filter(self, figure1_objects, figure1_weighter):
-        return GridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE)
+        return GridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE)
 
     def test_answer(self, grid_filter, figure1_query):
         assert grid_filter.search(figure1_query).answers == [1]
@@ -46,7 +46,7 @@ class TestBehaviour:
     ):
         naive = NaiveSearch(twitter_small, twitter_small_weighter)
         for granularity in (4, 16, 64):
-            f = GridFilter(twitter_small, granularity, twitter_small_weighter)
+            f = GridFilter(twitter_small, twitter_small_weighter, granularity=granularity)
             for q in twitter_small_queries:
                 assert f.search(q).answers == naive.search(q).answers, granularity
 
@@ -54,7 +54,7 @@ class TestBehaviour:
         self, twitter_small, twitter_small_weighter, twitter_small_queries
     ):
         naive = NaiveSearch(twitter_small, twitter_small_weighter)
-        f = GridFilter(twitter_small, 16, twitter_small_weighter, prefix_pruning=False)
+        f = GridFilter(twitter_small, twitter_small_weighter, granularity=16, prefix_pruning=False)
         for q in twitter_small_queries:
             assert f.search(q).answers == naive.search(q).answers
 
@@ -63,8 +63,8 @@ class TestBehaviour:
     ):
         """Section 4.3: finer granularity strengthens filtering power (on
         average; we assert it on workload totals)."""
-        coarse = GridFilter(twitter_small, 4, twitter_small_weighter)
-        fine = GridFilter(twitter_small, 64, twitter_small_weighter)
+        coarse = GridFilter(twitter_small, twitter_small_weighter, granularity=4)
+        fine = GridFilter(twitter_small, twitter_small_weighter, granularity=64)
         total_coarse = total_fine = 0
         for q in twitter_small_queries:
             total_coarse += len(coarse.candidates(q, SearchStats()))
@@ -72,12 +72,12 @@ class TestBehaviour:
         assert total_fine <= total_coarse
 
     def test_degenerate_tau_r_zero_full_scan(self, figure1_objects, figure1_weighter):
-        f = GridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE)
+        f = GridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE)
         q = Query(Rect(0, 0, 1, 1), frozenset({"t1"}), 0.0, 0.5)
         assert len(f.candidates(q, SearchStats())) == len(figure1_objects)
 
     def test_query_outside_space_no_candidates(self, figure1_objects, figure1_weighter):
-        f = GridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE)
+        f = GridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE)
         q = Query(Rect(500, 500, 600, 600), frozenset({"t1"}), 0.3, 0.0)
         assert len(f.candidates(q, SearchStats())) == 0
 
@@ -85,7 +85,7 @@ class TestBehaviour:
         from repro.core.objects import make_corpus
 
         objs = make_corpus([(Rect(10, 10, 10, 10), {"t1"}), (Rect(50, 50, 60, 60), {"t1"})])
-        f = GridFilter(objs, 4, space=FIGURE1_SPACE)
+        f = GridFilter(objs, granularity=4, space=FIGURE1_SPACE)
         q = Query(Rect(10, 10, 10, 10), frozenset({"t1"}), 0.5, 0.0)
         assert f.search(q).answers == [0]
 
@@ -94,6 +94,6 @@ class TestBehaviour:
     ):
         naive = NaiveSearch(twitter_small, twitter_small_weighter)
         for order in ("count_desc", "cell_id", "hilbert"):
-            f = GridFilter(twitter_small, 16, twitter_small_weighter, order=order)
+            f = GridFilter(twitter_small, twitter_small_weighter, granularity=16, order=order)
             for q in twitter_small_queries:
                 assert f.search(q).answers == naive.search(q).answers, order

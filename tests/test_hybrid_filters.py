@@ -22,7 +22,7 @@ from tests.conftest import FIGURE1_SPACE
 class TestHybridFilter:
     @pytest.fixture()
     def hybrid(self, figure1_objects, figure1_weighter):
-        return HybridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE)
+        return HybridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE)
 
     def test_answer(self, hybrid, figure1_query):
         assert hybrid.search(figure1_query).answers == [1]
@@ -32,7 +32,7 @@ class TestHybridFilter:
     ):
         """Example 4's point: hybrid candidates ⊆ token ∩ grid candidates."""
         token = TokenFilter(figure1_objects, figure1_weighter)
-        grid = GridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE)
+        grid = GridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE)
         c_hybrid = set(hybrid.candidates(figure1_query, SearchStats()))
         c_token = set(token.candidates(figure1_query, SearchStats()))
         c_grid = set(grid.candidates(figure1_query, SearchStats()))
@@ -41,7 +41,7 @@ class TestHybridFilter:
 
     def test_equals_naive(self, twitter_small, twitter_small_weighter, twitter_small_queries):
         naive = NaiveSearch(twitter_small, twitter_small_weighter)
-        f = HybridFilter(twitter_small, 16, twitter_small_weighter)
+        f = HybridFilter(twitter_small, twitter_small_weighter, granularity=16)
         for q in twitter_small_queries:
             assert f.search(q).answers == naive.search(q).answers
 
@@ -50,7 +50,7 @@ class TestHybridFilter:
     ):
         naive = NaiveSearch(twitter_small, twitter_small_weighter)
         for buckets in (64, 1024):
-            f = HybridFilter(twitter_small, 16, twitter_small_weighter, num_buckets=buckets)
+            f = HybridFilter(twitter_small, twitter_small_weighter, granularity=16, num_buckets=buckets)
             for q in twitter_small_queries:
                 assert f.search(q).answers == naive.search(q).answers, buckets
 
@@ -58,15 +58,15 @@ class TestHybridFilter:
         self, twitter_small, twitter_small_weighter, twitter_small_queries
     ):
         """Bucket collisions add candidates but never remove them."""
-        exact = HybridFilter(twitter_small, 16, twitter_small_weighter)
-        bucketed = HybridFilter(twitter_small, 16, twitter_small_weighter, num_buckets=32)
+        exact = HybridFilter(twitter_small, twitter_small_weighter, granularity=16)
+        bucketed = HybridFilter(twitter_small, twitter_small_weighter, granularity=16, num_buckets=32)
         for q in twitter_small_queries:
             c_exact = set(exact.candidates(q, SearchStats()))
             c_bucketed = set(bucketed.candidates(q, SearchStats()))
             assert c_exact <= c_bucketed
 
     def test_bucket_count_bounds_directory(self, twitter_small, twitter_small_weighter):
-        f = HybridFilter(twitter_small, 16, twitter_small_weighter, num_buckets=128)
+        f = HybridFilter(twitter_small, twitter_small_weighter, granularity=16, num_buckets=128)
         assert len(f.index) <= 128
 
     def test_degenerate_thresholds_full_scan(self, hybrid, figure1_objects):
@@ -75,7 +75,7 @@ class TestHybridFilter:
             assert len(hybrid.candidates(q, SearchStats())) == len(figure1_objects)
 
     def test_index_size_counts_cross_product(self, figure1_objects, figure1_weighter):
-        f = HybridFilter(figure1_objects, 4, figure1_weighter, space=FIGURE1_SPACE)
+        f = HybridFilter(figure1_objects, figure1_weighter, granularity=4, space=FIGURE1_SPACE)
         expected = sum(
             len(obj.tokens) * len(f.spatial.object_signature(obj)) for obj in figure1_objects
         )
@@ -158,7 +158,7 @@ class TestHierarchicalFilter:
     ):
         """Section 5.2's motivation: hierarchical grids avoid the useless
         fine-grained elements the fixed-granularity cross product creates."""
-        hash_f = HybridFilter(twitter_small, 64, twitter_small_weighter)
+        hash_f = HybridFilter(twitter_small, twitter_small_weighter, granularity=64)
         hier_f = HierarchicalFilter(
             twitter_small, mt=8, max_level=6, weighter=twitter_small_weighter
         )

@@ -125,3 +125,41 @@ class TestSnapshot:
         )
         with pytest.raises(SnapshotError, match="format 99"):
             load_engine(path)
+
+    def test_pre_exec_layer_snapshots_rejected(self, tmp_path):
+        """Format 1 predates keyword-only constructors and sharded
+        engines; those snapshots must fail loudly, not deserialise."""
+        import pickle
+
+        from repro.io.snapshot import SNAPSHOT_FORMAT
+
+        assert SNAPSHOT_FORMAT >= 2
+        path = tmp_path / "v1.pkl"
+        path.write_bytes(
+            pickle.dumps({"magic": "repro-seal-snapshot", "format": 1, "engine": None})
+        )
+        with pytest.raises(SnapshotError, match="rebuild the index"):
+            load_engine(path)
+
+    def test_round_trip_sharded_engine(self, tmp_path, figure1_objects, figure1_query):
+        from repro import ShardedSealSearch
+
+        pairs = [(obj.region, obj.tokens) for obj in figure1_objects]
+        queries = [
+            figure1_query,
+            figure1_query.with_thresholds(tau_r=0.0, tau_t=0.0),
+            figure1_query.with_thresholds(tau_r=0.5),
+        ]
+        for partition in ("round-robin", "spatial"):
+            engine = ShardedSealSearch(
+                pairs, "seal", shards=3, partition=partition, mt=4, max_level=4
+            )
+            expected = [engine.search_query(q).answers for q in queries]
+            path = tmp_path / f"sharded-{partition}.pkl"
+            save_engine(engine, path)
+            restored = load_engine(path)
+            assert restored.num_shards == engine.num_shards
+            assert [restored.search_query(q).answers for q in queries] == expected
+            # The batch path (thread-pool fan-out) must also survive the
+            # round trip — pools are rebuilt lazily, never pickled.
+            assert restored.search_batch(queries).answers() == expected

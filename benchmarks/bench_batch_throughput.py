@@ -28,11 +28,11 @@ import os
 import pytest
 
 from repro import BatchExecutor, TokenWeighter, build_method
-from repro.bench import format_json_report, format_table, measure_throughput, write_json_report
+from repro.bench import format_table, measure_throughput
 from repro.datasets import generate_queries
 from repro.exec.sharded import ShardedSealSearch
 
-from benchmarks.conftest import emit, make_twitter_corpus
+from benchmarks.conftest import emit, make_twitter_corpus, report_json
 
 BATCH_N = int(os.environ.get("REPRO_BENCH_BATCH_N", "10000"))
 BATCH_QUERIES = int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", "64"))
@@ -78,16 +78,6 @@ def filter_bound_queries(corpus):
     )
 
 
-def _report_json(name: str, title: str, data: object) -> None:
-    """Queue the JSON block for the terminal summary; with
-    ``REPRO_BENCH_JSON=<dir>`` also write it to ``<dir>/<name>``."""
-    emit(format_json_report(title, data))
-    directory = os.environ.get("REPRO_BENCH_JSON")
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-        write_json_report(os.path.join(directory, name), title, data)
-
-
 @pytest.mark.benchmark(group="exec-throughput")
 def test_batch_vs_single_query(benchmark, corpus, weighter, small_queries):
     def run():
@@ -117,7 +107,7 @@ def test_batch_vs_single_query(benchmark, corpus, weighter, small_queries):
         f"{BATCH_QUERIES} small-region queries (queries/sec)"
     )
     emit(format_table(title, "method", ["single q/s", "batch q/s", "speedup"], rows))
-    _report_json("batch_vs_single.json", title, payload)
+    report_json("batch_vs_single.json", title, payload)
 
 
 #: Methods for the shard-scaling comparison: ``keyword-first`` has an
@@ -164,7 +154,7 @@ def test_sharded_filter_scaling(benchmark, corpus, filter_bound_queries):
     emit(format_table(
         title, "method/shards", ["crit filter ms", "max-shard entries"], rows,
     ))
-    _report_json("sharded_scaling.json", title, payload)
+    report_json("sharded_scaling.json", title, payload)
 
 
 @pytest.mark.benchmark(group="exec-throughput")
@@ -188,4 +178,4 @@ def test_sharded_partition_policies(benchmark, corpus, small_queries):
     rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
     title = f"Sharded batch throughput by partition policy — {BATCH_N} objects"
     emit(format_table(title, "engine", ["batch q/s", "ms/query"], rows))
-    _report_json("sharded_policies.json", title, payload)
+    report_json("sharded_policies.json", title, payload)

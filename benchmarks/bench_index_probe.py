@@ -1,0 +1,154 @@
+"""Filter-phase probe throughput: ``python`` vs ``columnar`` backend.
+
+Not a paper figure — this isolates the tentpole of the columnar-storage
+refactor: the *filter step only* (``method.candidates``), with no
+verification, so the numbers measure exactly what the CSR posting arrays
+and vectorised probe kernels buy over the per-list ``bisect``/slice
+reference backend.
+
+The workload is filter-bound on purpose — large regions and
+recall-oriented thresholds produce long qualifying heads, the regime the
+paper's memory-bound filter lives in (Figures 3–6).  Five method
+configurations span the three probe kernels:
+
+* ``token`` — single-bound prefix probes + head unions;
+* ``token (plain)`` — the no-pruning accumulate kernel (Sig-Filter);
+* ``grid`` — single-bound probes over cell lists;
+* ``hash-hybrid`` — dual-bound probes with vectorised textual masking;
+* ``seal`` — the paper's best method, dual-bound per-token grids.
+
+Expected shape: the columnar win grows with postings scanned per query —
+large for the token kernels (thousands of entries), near parity for
+``hash-hybrid``/``seal``, whose filters are *selectivity*-bound (a
+handful of near-empty lists per query — SEAL's own pruning at work), so
+per-query signature setup dominates and the backend barely matters.  The
+``suite total`` row divides total workload wall time python/columnar.
+
+Results print as a fixed-width table plus a JSON report; set
+``REPRO_BENCH_JSON=<dir>`` to also write the JSON to a file (CI uploads
+it as the bench artifact).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import TokenWeighter, build_method
+from repro.bench import format_table, measure_throughput
+from repro.core.stats import SearchStats
+from repro.datasets import generate_queries
+
+from benchmarks.conftest import emit, make_twitter_corpus, report_json, scaled_granularity
+
+PROBE_N = int(os.environ.get("REPRO_BENCH_PROBE_N", "10000"))
+PROBE_QUERIES = int(os.environ.get("REPRO_BENCH_PROBE_QUERIES", "64"))
+REPEATS = int(os.environ.get("REPRO_BENCH_PROBE_REPEATS", "3"))
+
+#: Default thresholds: recall-oriented, so qualifying heads carry weight.
+PROBE_TAU = float(os.environ.get("REPRO_BENCH_PROBE_TAU", "0.05"))
+
+#: Display name -> (registry name, constructor params).
+PROBE_METHODS = {
+    "token": ("token", {}),
+    "token (plain)": ("token", {"prefix_pruning": False}),
+    "grid": ("grid", {"granularity": scaled_granularity(1024, PROBE_N)}),
+    "hash-hybrid": ("hash-hybrid", {"granularity": scaled_granularity(256, PROBE_N)}),
+    "seal": ("seal", {"mt": 16, "max_level": 7, "min_objects": 8}),
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_twitter_corpus(PROBE_N)
+
+
+@pytest.fixture(scope="module")
+def weighter(corpus):
+    return TokenWeighter(obj.tokens for obj in corpus)
+
+
+@pytest.fixture(scope="module")
+def filter_bound_queries(corpus):
+    """Large regions + low thresholds: long qualifying heads, so the
+    filter step carries real per-posting work on every probe."""
+    return list(
+        generate_queries(
+            corpus, "large", num_queries=PROBE_QUERIES, seed=13,
+            tau_r=PROBE_TAU, tau_t=PROBE_TAU,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="index-probe")
+def test_filter_phase_python_vs_columnar(benchmark, corpus, weighter, filter_bound_queries):
+    def run():
+        rows = {}
+        payload = {}
+        for label, (name, params) in PROBE_METHODS.items():
+            built = {
+                backend: build_method(corpus, name, weighter, backend=backend, **params)
+                for backend in ("python", "columnar")
+            }
+            # Identical filter output is the precondition for comparing
+            # speed; assert it on the first query rather than trusting it.
+            probe_query = filter_bound_queries[0]
+            assert sorted(
+                int(o) for o in built["python"].candidates(probe_query, SearchStats())
+            ) == sorted(
+                int(o) for o in built["columnar"].candidates(probe_query, SearchStats())
+            )
+
+            measurements = {}
+            for backend, method in built.items():
+                candidates = method.candidates
+
+                def filter_phase(queries):
+                    for query in queries:
+                        candidates(query, SearchStats())
+
+                measurements[backend] = measure_throughput(
+                    filter_phase, filter_bound_queries, repeats=REPEATS
+                )
+            speedup = (
+                measurements["columnar"].qps / measurements["python"].qps
+                if measurements["python"].qps
+                else 0.0
+            )
+            rows[label] = [
+                round(measurements["python"].qps),
+                round(measurements["columnar"].qps),
+                f"{speedup:.2f}x",
+            ]
+            payload[label] = {
+                "python": measurements["python"],
+                "columnar": measurements["columnar"],
+                "speedup": speedup,
+            }
+        # Aggregate: total wall time to run the whole method suite's
+        # filter phases, python vs columnar.
+        python_seconds = sum(entry["python"].elapsed_seconds for entry in payload.values())
+        columnar_seconds = sum(
+            entry["columnar"].elapsed_seconds for entry in payload.values()
+        )
+        suite_speedup = python_seconds / columnar_seconds if columnar_seconds else 0.0
+        rows["suite total"] = [
+            round(len(payload) * PROBE_QUERIES / python_seconds) if python_seconds else 0,
+            round(len(payload) * PROBE_QUERIES / columnar_seconds) if columnar_seconds else 0,
+            f"{suite_speedup:.2f}x",
+        ]
+        payload["suite"] = {
+            "python_seconds": python_seconds,
+            "columnar_seconds": columnar_seconds,
+            "speedup": suite_speedup,
+        }
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    title = (
+        f"Filter-phase throughput, python vs columnar index backend — "
+        f"{PROBE_N} objects, {PROBE_QUERIES} filter-bound queries (queries/sec)"
+    )
+    emit(format_table(title, "method", ["python q/s", "columnar q/s", "speedup"], rows))
+    report_json("index_probe.json", title, payload)

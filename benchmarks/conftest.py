@@ -171,6 +171,19 @@ def emit(text: str) -> None:
     _REPORTS.append(text)
 
 
+def report_json(name: str, title: str, data: object) -> None:
+    """Queue a JSON report block for the terminal summary; with
+    ``REPRO_BENCH_JSON=<dir>`` also write it to ``<dir>/<name>`` (CI
+    uploads that directory as the bench artifact)."""
+    from repro.bench import format_json_report, write_json_report
+
+    emit(format_json_report(title, data))
+    directory = os.environ.get("REPRO_BENCH_JSON")
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        write_json_report(os.path.join(directory, name), title, data)
+
+
 def pytest_terminal_summary(terminalreporter):
     if not _REPORTS:
         return

@@ -38,7 +38,11 @@ class KeywordFirstSearch(SearchMethod):
         for obj in self.corpus:
             for token in obj.tokens:
                 self.index.list_for(token).add(obj.oid, 0.0)
-        self.index.freeze()
+        # Python backend on purpose: the filter walks every retrieved
+        # entry in a dict-accumulation loop, which iterates plain lists
+        # faster than array scalars — and bounds here are all 0.0, so
+        # the columnar head kernels have nothing to vectorise.
+        self.index.freeze(backend="python")
         self._token_totals = [self.weighter.total_weight(obj.tokens) for obj in self.corpus]
 
     def candidates(self, query: Query, stats: SearchStats) -> Collection[int]:

@@ -6,12 +6,15 @@ Everything the library does, scriptable without writing Python::
         --queries queries.jsonl --kind small
     seal-repro stats corpus.jsonl
     seal-repro build corpus.jsonl --method seal --out engine.pkl
+    seal-repro build corpus.jsonl --method seal --backend python \\
+        --out oracle.pkl
     seal-repro build corpus.jsonl --method seal --shards 4 \\
         --partition spatial --out sharded.pkl
     seal-repro query engine.pkl --region 10,10,20,20 --tokens coffee,tea \\
         --tau-r 0.3 --tau-t 0.3
     seal-repro query engine.pkl --queries queries.jsonl
     seal-repro query engine.pkl --batch-file queries.jsonl
+    seal-repro query engine.pkl --batch-file queries.jsonl --mmap
     seal-repro sweep corpus.jsonl --methods seal,irtree --axis tau_r
 
 (Also reachable as ``python -m repro``.)
@@ -20,6 +23,7 @@ Everything the library does, scriptable without writing Python::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import List, Sequence
@@ -44,6 +48,10 @@ _METHOD_PARAMS = {
     "max_entries": int,
     "min_objects": int,
     "budget_scaling": float,
+    # Index storage backend for the signature filters: "columnar"
+    # (CSR arrays + vectorized probes, the default with NumPy) or
+    # "python" (per-list reference oracle).
+    "backend": str,
 }
 
 
@@ -112,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="JSONL workload run through the batch executor (shared scratch, "
              "throughput summary) instead of query-at-a-time",
     )
+    query.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the snapshot's columnar-array sidecar instead of "
+             "reading it into memory (format-3 snapshots of columnar engines)",
+    )
     query.add_argument("--show", type=int, default=10, help="answers to print per query")
     query.set_defaults(handler=_cmd_query)
 
@@ -179,6 +192,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
         for name in _METHOD_PARAMS
         if getattr(args, name, None) is not None
     }
+    # Knobs are method-specific; reject unsupported ones with a friendly
+    # error instead of a constructor TypeError traceback (e.g. --backend
+    # on a baseline without a signature index).
+    accepted = inspect.signature(METHOD_REGISTRY[args.method]).parameters
+    unsupported = [name for name in params if name not in accepted]
+    if unsupported:
+        flags = ", ".join("--" + name.replace("_", "-") for name in unsupported)
+        print(f"error: method {args.method!r} does not accept {flags}", file=sys.stderr)
+        return 2
     started = time.perf_counter()
     if args.shards is not None:
         engine = ShardedSealSearch(
@@ -209,7 +231,7 @@ def _engine_search(engine, query: Query):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = load_engine(args.engine)
+    engine = load_engine(args.engine, mmap=args.mmap)
     if args.batch_file:
         queries = load_queries(args.batch_file)
         if hasattr(engine, "search_batch"):

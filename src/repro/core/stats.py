@@ -19,7 +19,15 @@ class SearchStats:
 
     Attributes:
         lists_probed: Inverted lists (or tree nodes) visited by the filter.
-        entries_retrieved: Posting entries read from those lists.
+        entries_retrieved: Posting entries read from those lists — for
+            threshold-bounded lists this is the binary-search cut point
+            (the qualifying head length), the honest probe cost.
+        entries_matched: Retrieved entries that passed *every* per-posting
+            bound check.  Equals ``entries_retrieved`` for single-bound
+            lists; for dual-bound hybrid lists it is the post-textual-mask
+            count, so ``retrieved - matched`` measures how much work the
+            second bound column rejects.  Identical across index storage
+            backends (both derive it from the same cut points).
         candidates: Size of the candidate set handed to verification.
         results: Number of final answers.
         filter_seconds: Wall time spent in the filter step.
@@ -28,6 +36,7 @@ class SearchStats:
 
     lists_probed: int = 0
     entries_retrieved: int = 0
+    entries_matched: int = 0
     candidates: int = 0
     results: int = 0
     filter_seconds: float = 0.0
@@ -42,6 +51,7 @@ class SearchStats:
         return SearchStats(
             lists_probed=self.lists_probed,
             entries_retrieved=self.entries_retrieved,
+            entries_matched=self.entries_matched,
             candidates=self.candidates,
             results=self.results,
             filter_seconds=self.filter_seconds,
@@ -52,6 +62,7 @@ class SearchStats:
         """Accumulate another query's counters into this one (workload totals)."""
         self.lists_probed += other.lists_probed
         self.entries_retrieved += other.entries_retrieved
+        self.entries_matched += other.entries_matched
         self.candidates += other.candidates
         self.results += other.results
         self.filter_seconds += other.filter_seconds

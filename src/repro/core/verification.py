@@ -37,6 +37,11 @@ class Verifier:
         The spatial check runs first — it is a handful of float ops, while
         the textual check intersects token sets.
         """
+        if hasattr(candidates, "tolist"):
+            # Columnar filters hand over int64 arrays; convert once so the
+            # loop sees plain ints (faster indexing, and answers never
+            # leak NumPy scalar types to callers or snapshots).
+            candidates = candidates.tolist()
         q_rect = query.region
         q_area = q_rect.area
         q_tokens = query.tokens

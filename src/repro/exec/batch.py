@@ -7,6 +7,12 @@ arithmetic.  :class:`BatchExecutor` amortises work across the batch:
 * a per-method *scratch* (corpus rectangle coordinates, areas and token
   weight totals packed into NumPy arrays) is built once and reused by
   every query in the batch — and cached across batches per method;
+* with the columnar index backend the *filter* step is vectorised too:
+  probes return zero-copy CSR head views, each query's candidate union
+  runs through the method's single reusable
+  :class:`~repro.index.columnar.CandidateScratch` buffer (allocated once,
+  epoch-reset per query across the whole batch), and the resulting int64
+  candidate array flows into verification without re-materialisation;
 * verification of each query's candidate set runs the spatial check
   vectorised over all candidates at once, falling back to the exact
   per-object textual check only for the spatial survivors;
@@ -139,7 +145,13 @@ class _VectorVerifier:
         n = len(candidates)
         if n < self.min_candidates:
             return self.scalar(query, candidates, stats)
-        oids = _np.fromiter(candidates, dtype=_np.intp, count=n)
+        if isinstance(candidates, _np.ndarray):
+            # Columnar filters already hand over an integer candidate
+            # array — fancy indexing takes it as-is, so the handoff is
+            # genuinely zero-copy (astype to intp would copy int32).
+            oids = candidates
+        else:
+            oids = _np.fromiter(candidates, dtype=_np.intp, count=n)
         q_rect = query.region
         qx1, qy1, qx2, qy2 = q_rect.x1, q_rect.y1, q_rect.x2, q_rect.y2
         q_area = q_rect.area

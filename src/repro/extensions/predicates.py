@@ -168,6 +168,10 @@ class PredicateSearch(SingleSchemeFilter):
         stats = SearchStats()
         watch = Stopwatch()
         candidate_oids = self.candidates(query, stats)
+        if hasattr(candidate_oids, "tolist"):
+            # Columnar filters hand over an integer array; convert like
+            # Verifier.verify does so answers stay plain ints.
+            candidate_oids = candidate_oids.tolist()
         stats.filter_seconds = watch.lap()
         stats.candidates = len(candidate_oids)
         answers = []

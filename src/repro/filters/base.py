@@ -50,6 +50,9 @@ class SingleSchemeFilter(SearchMethod):
         weighter: Corpus idf statistics (built if omitted).
         prefix_pruning: True → Sig-Filter+ (threshold-aware); False →
             plain Sig-Filter.
+        backend: Index storage backend (``"python"``, ``"columnar"``, or
+            ``None`` for the environment default).  Answers and probe
+            statistics are identical across backends; only speed differs.
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class SingleSchemeFilter(SearchMethod):
         weighter: TokenWeighter | None = None,
         *,
         prefix_pruning: bool = True,
+        backend: str | None = None,
     ) -> None:
         super().__init__(objects, weighter)
         self.scheme = scheme
@@ -73,7 +77,8 @@ class SingleSchemeFilter(SearchMethod):
             else:
                 for element, weight in signature:
                     self.index.list_for(element).add(obj.oid, weight)
-        self.index.freeze()
+        self.index.freeze(backend=backend)
+        self.backend = self.index.backend
 
     # ------------------------------------------------------------------
     # Filter step
@@ -103,16 +108,27 @@ class SingleSchemeFilter(SearchMethod):
         threshold: float,
         stats: SearchStats,
     ) -> Collection[int]:
-        """Sig-Filter+: union of threshold-bounded heads over the prefix."""
+        """Sig-Filter+: union of threshold-bounded heads over the prefix.
+
+        Probing a missing element still counts as a probe (the directory
+        lookup happens either way) and retrieves an empty head, so the
+        statistics are backend-independent by construction.
+        """
         prefix_len = select_prefix([w for _, w in signature], threshold)
+        store = self.index.store
+        scratch = store.begin_union() if store is not None else None
         out: set[int] = set()
         probe = self.index.probe
         for element, _ in signature[:prefix_len]:
             retrieved = probe(element, threshold)
             stats.lists_probed += 1
             stats.entries_retrieved += len(retrieved)
-            out.update(retrieved)
-        return out
+            stats.entries_matched += len(retrieved)
+            if scratch is not None:
+                scratch.add(retrieved)
+            else:
+                out.update(retrieved)
+        return scratch.result() if scratch is not None else out
 
     def _candidates_plain(
         self,
@@ -120,7 +136,29 @@ class SingleSchemeFilter(SearchMethod):
         threshold: float,
         stats: SearchStats,
     ) -> Collection[int]:
-        """Sig-Filter: accumulate exact signature similarity over all lists."""
+        """Sig-Filter: accumulate exact signature similarity over all lists.
+
+        Both paths accumulate ``Σ min(w(s|q), w(s|o))`` in float64 with
+        identical per-oid addition order (lists visited in signature
+        order, one entry per oid per list), so the surviving candidate
+        sets are identical — the columnar path just runs it as array
+        kernels over the CSR columns.
+        """
+        store = self.index.store
+        if store is not None:
+            scratch = store.begin_union()
+            acc = scratch.accumulator(len(self.corpus))
+            for element, query_weight in signature:
+                entries = store.accumulate(acc, element, query_weight, scratch)
+                if entries is None:
+                    continue
+                stats.lists_probed += 1
+                stats.entries_retrieved += entries
+                stats.entries_matched += entries
+            touched = scratch.result()
+            out = touched[acc[touched] >= threshold]
+            acc[touched] = 0.0  # keep the reusable accumulator zeroed
+            return out
         acc: defaultdict[int, float] = defaultdict(float)
         for element, query_weight in signature:
             plist = self.index.get(element)
@@ -129,6 +167,7 @@ class SingleSchemeFilter(SearchMethod):
             stats.lists_probed += 1
             for oid, object_weight in plist:
                 stats.entries_retrieved += 1
+                stats.entries_matched += 1
                 acc[oid] += object_weight if object_weight < query_weight else query_weight
         return [oid for oid, sim in acc.items() if sim >= threshold]
 

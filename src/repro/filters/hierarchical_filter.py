@@ -53,6 +53,8 @@ class HierarchicalFilter(SearchMethod):
             scheme's element count scales with |I(t)|), which is what
             lets hierarchical signatures match fixed-granularity
             filtering power at a smaller total budget.
+        backend: Index storage backend (``"python"``, ``"columnar"``, or
+            ``None`` for the environment default).
 
     Raises:
         ConfigurationError: On an empty corpus or ``mt < 1``.
@@ -70,6 +72,7 @@ class HierarchicalFilter(SearchMethod):
         space: Rect | None = None,
         min_objects: int = 4,
         budget_scaling: float | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__(objects, weighter)
         if mt < 1:
@@ -118,7 +121,8 @@ class HierarchicalFilter(SearchMethod):
                 cell_bounds = suffix_bounds([w for _, w in cells])
                 for (cell, _), r_bound in zip(cells, cell_bounds):
                     self.index.list_for((token, cell)).add(obj.oid, r_bound, t_bound)
-        self.index.freeze()
+        self.index.freeze(backend=backend)
+        self.backend = self.index.backend
 
     @staticmethod
     def _region_cells(grids: TokenGrids, region: Rect) -> List[Tuple[HierCell, float]]:
@@ -152,8 +156,10 @@ class HierarchicalFilter(SearchMethod):
         c_r = query.tau_r * query.region.area
         token_sig = self.textual.query_signature(query)
         token_prefix = token_sig[: select_prefix([w for _, w in token_sig], c_t)]
-        out: set[int] = set()
         index = self.index
+        store = index.store
+        scratch = store.begin_union() if store is not None else None
+        out: set[int] = set()
         for token, _ in token_prefix:
             grids = self.token_grids.get(token)
             if grids is None:
@@ -164,14 +170,18 @@ class HierarchicalFilter(SearchMethod):
             cells = self._region_cells(grids, query.region)
             spatial_prefix = cells[: select_prefix([w for _, w in cells], c_r)]
             for cell, _ in spatial_prefix:
-                plist = index.get((token, cell))
-                if plist is None:
+                result = index.probe_dual((token, cell), c_r, c_t)
+                if result is None:
                     continue
-                retrieved, scanned = plist.retrieve(c_r, c_t)
+                retrieved, scanned = result
                 stats.lists_probed += 1
                 stats.entries_retrieved += scanned
-                out.update(retrieved)
-        return out
+                stats.entries_matched += len(retrieved)
+                if scratch is not None:
+                    scratch.add(retrieved)
+                else:
+                    out.update(retrieved)
+        return scratch.result() if scratch is not None else out
 
     # ------------------------------------------------------------------
     # Introspection

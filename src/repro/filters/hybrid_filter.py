@@ -59,6 +59,8 @@ class HybridFilter(SearchMethod):
             posting is verified.
         space: Grid space override (defaults to the corpus MBR).
         order: Global cell order name.
+        backend: Index storage backend (``"python"``, ``"columnar"``, or
+            ``None`` for the environment default).
     """
 
     name = "hash-hybrid"
@@ -72,6 +74,7 @@ class HybridFilter(SearchMethod):
         num_buckets: int | None = None,
         space: Rect | None = None,
         order: str = "count_asc",
+        backend: str | None = None,
     ) -> None:
         super().__init__(objects, weighter)
         self.granularity = granularity
@@ -88,7 +91,8 @@ class HybridFilter(SearchMethod):
                 for (cell, _), r_bound in zip(cell_sig, cell_bounds):
                     key = self._key(token, cell)
                     self.index.list_for(key).add(obj.oid, r_bound, t_bound)
-        self.index.freeze()
+        self.index.freeze(backend=backend)
+        self.backend = self.index.backend
 
     def _key(self, token: str, cell: int):
         if self.num_buckets is None:
@@ -113,9 +117,11 @@ class HybridFilter(SearchMethod):
         cell_sig = self.spatial.query_signature(query)
         token_prefix = token_sig[: select_prefix([w for _, w in token_sig], c_t)]
         cell_prefix = cell_sig[: select_prefix([w for _, w in cell_sig], c_r)]
+        index = self.index
+        store = index.store
+        scratch = store.begin_union() if store is not None else None
         out: set[int] = set()
         probed: set = set()
-        index = self.index
         for token, _ in token_prefix:
             for cell, _ in cell_prefix:
                 key = self._key(token, cell)
@@ -124,14 +130,18 @@ class HybridFilter(SearchMethod):
                     # probe with the same thresholds covers them all.
                     continue
                 probed.add(key)
-                plist = index.get(key)
-                if plist is None:
+                result = index.probe_dual(key, c_r, c_t)
+                if result is None:
                     continue
-                retrieved, scanned = plist.retrieve(c_r, c_t)
+                retrieved, scanned = result
                 stats.lists_probed += 1
                 stats.entries_retrieved += scanned
-                out.update(retrieved)
-        return out
+                stats.entries_matched += len(retrieved)
+                if scratch is not None:
+                    scratch.add(retrieved)
+                else:
+                    out.update(retrieved)
+        return scratch.result() if scratch is not None else out
 
     # ------------------------------------------------------------------
     # Introspection

@@ -4,12 +4,28 @@
 hybrid key) to its posting list.  It is generic over the posting-list
 class so the single-bound and dual-bound variants share construction,
 freezing, statistics and size accounting.
+
+Storage is pluggable at :meth:`freeze` time:
+
+* ``backend="python"`` keeps the per-element
+  :class:`~repro.index.postings.PostingList` objects — the reference
+  oracle the equivalence tests compare against;
+* ``backend="columnar"`` (the default whenever NumPy is available)
+  consolidates every list into one
+  :class:`~repro.index.columnar.CSRPostingStore` of contiguous parallel
+  arrays and drops the Python lists; probes become vectorised kernels
+  returning zero-copy head views.
+
+Both backends answer the same probe API (:meth:`probe`, :meth:`probe_dual`,
+:meth:`get`, :meth:`items`) with identical oids in identical order, so the
+filters run one algorithm over either.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Generic, Hashable, Iterator, Tuple, Type, TypeVar
 
+from repro.index.columnar import CSRPostingStore, resolve_backend
 from repro.index.postings import DualBoundPostingList, PostingList
 
 Key = TypeVar("Key", bound=Hashable)
@@ -26,17 +42,20 @@ class InvertedIndex(Generic[Key, PList]):
     Examples:
         >>> index = InvertedIndex(PostingList)
         >>> index.list_for("tea").add(0, bound=1.5)
-        >>> index.freeze()
+        >>> index.freeze(backend="python")
         >>> list(index.probe("tea", 1.0))
         [0]
     """
 
-    __slots__ = ("_lists", "_list_class", "_frozen")
+    __slots__ = ("_lists", "_list_class", "_frozen", "store", "backend")
 
     def __init__(self, list_class: Type[PList] = PostingList) -> None:
         self._lists: Dict[Key, PList] = {}
         self._list_class = list_class
         self._frozen = False
+        #: The columnar store after a columnar freeze; ``None`` otherwise.
+        self.store: CSRPostingStore | None = None
+        self.backend = "python"
 
     # ------------------------------------------------------------------
     # Build phase
@@ -52,33 +71,87 @@ class InvertedIndex(Generic[Key, PList]):
             self._lists[element] = plist
         return plist
 
-    def freeze(self) -> None:
-        """Freeze every posting list (sorts by bound); idempotent."""
+    def freeze(self, backend: str | None = None) -> None:
+        """Freeze every posting list (sorts by bound); idempotent.
+
+        Args:
+            backend: ``"python"``, ``"columnar"``, or ``None`` for the
+                environment default (columnar when NumPy is available).
+                Columnar freezing consolidates all postings into one
+                :class:`CSRPostingStore` and releases the Python lists.
+
+        Raises:
+            RuntimeError: Re-freezing with a *different* explicit backend
+                — the first freeze fixes the storage layout; re-freezing
+                with the same (or no) backend is a no-op.
+        """
+        if self._frozen:
+            if backend is not None and backend != self.backend:
+                raise RuntimeError(
+                    f"index already frozen with backend {self.backend!r}; "
+                    f"cannot re-freeze as {backend!r}"
+                )
+            return
+        # Validate before mutating: a bad backend name must leave the
+        # index un-frozen so the caller can retry with a valid one.
+        resolved = resolve_backend(backend)
         for plist in self._lists.values():
             plist.freeze()
         self._frozen = True
+        self.backend = resolved
+        if self.backend == "columnar":
+            self.store = CSRPostingStore.from_lists(
+                self._lists, dual=self._list_class is DualBoundPostingList
+            )
+            self._lists = {}
 
     # ------------------------------------------------------------------
     # Probe phase
     # ------------------------------------------------------------------
 
-    def get(self, element: Key) -> PList | None:
+    def get(self, element: Key):
+        """The element's posting list (or columnar row view), else None."""
+        if self.store is not None:
+            return self.store.view(element)
         return self._lists.get(element)
 
     def probe(self, element: Key, min_bound: float):
-        """Single-bound probe: qualifying oids of ``element``'s list."""
+        """Single-bound probe: qualifying oids of ``element``'s list.
+
+        Returns a backend-native sequence — a ``list`` (python) or a
+        zero-copy int64 view (columnar) — that is *empty* on a directory
+        miss, never a different type.
+        """
+        if self.store is not None:
+            return self.store.probe(element, min_bound)
         plist = self._lists.get(element)
         if plist is None:
-            return ()
-        return plist.retrieve(min_bound)  # type: ignore[call-arg]
+            return []
+        return plist.retrieve(min_bound)
+
+    def probe_dual(self, element: Key, min_r_bound: float, min_t_bound: float):
+        """Dual-bound probe: ``(qualifying oids, scanned)``, or ``None``
+        on a directory miss (which filters do not count as a probe)."""
+        if self.store is not None:
+            return self.store.probe_dual(element, min_r_bound, min_t_bound)
+        plist = self._lists.get(element)
+        if plist is None:
+            return None
+        return plist.retrieve(min_r_bound, min_t_bound)
 
     def __contains__(self, element: Key) -> bool:
+        if self.store is not None:
+            return element in self.store.rows
         return element in self._lists
 
     def __len__(self) -> int:
+        if self.store is not None:
+            return self.store.num_rows
         return len(self._lists)
 
     def items(self) -> Iterator[Tuple[Key, PList]]:
+        if self.store is not None:
+            return self.store.items()
         return iter(self._lists.items())
 
     # ------------------------------------------------------------------
@@ -86,8 +159,13 @@ class InvertedIndex(Generic[Key, PList]):
     # ------------------------------------------------------------------
 
     def num_postings(self) -> int:
+        if self.store is not None:
+            return self.store.num_postings
         return sum(len(plist) for plist in self._lists.values())
 
     def list_length(self, element: Key) -> int:
+        if self.store is not None:
+            row = self.store.rows.get(element)
+            return self.store.row_length(row) if row is not None else 0
         plist = self._lists.get(element)
         return len(plist) if plist is not None else 0

@@ -180,7 +180,8 @@ def _charge_single_scheme(method: SingleSchemeFilter, query: Query, pool: Buffer
     prefix_len = select_prefix([w for _, w in signature], threshold)
     for element, _ in signature[:prefix_len]:
         retrieved = method.index.probe(element, threshold)
-        if retrieved:
+        # len(), not truthiness: columnar probes return ndarray heads.
+        if len(retrieved):
             pool.access_run(("sig", element), _posting_pages(len(retrieved), 1))
         else:
             pool.access(("sig", element, "head"))

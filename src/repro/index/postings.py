@@ -70,6 +70,16 @@ class PostingList:
         cut = bisect_right(self._neg_bounds, -min_bound)
         return self.oids[:cut]
 
+    def columns(self) -> Tuple[List[int], List[float]]:
+        """The frozen ``(oids, negated bounds)`` columns, probe order.
+
+        This is the exact layout the columnar backend concatenates into
+        CSR arrays, so both backends inherit one ``(-bound, oid)`` order.
+        """
+        if self._staging is not None:
+            raise RuntimeError("PostingList must be frozen before export")
+        return self.oids, self._neg_bounds
+
     def __len__(self) -> int:
         if self._staging is not None:
             return len(self._staging)
@@ -127,6 +137,12 @@ class DualBoundPostingList:
         t_bounds = self.t_bounds
         out = [oids[i] for i in range(cut) if t_bounds[i] >= min_t_bound]
         return out, cut
+
+    def columns(self) -> Tuple[List[int], List[float], List[float]]:
+        """Frozen ``(oids, negated spatial bounds, textual bounds)`` columns."""
+        if self._staging is not None:
+            raise RuntimeError("DualBoundPostingList must be frozen before export")
+        return self.oids, self._neg_r_bounds, self.t_bounds
 
     def __len__(self) -> int:
         if self._staging is not None:

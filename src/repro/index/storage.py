@@ -79,6 +79,12 @@ def measure_index(
 ) -> IndexSizeReport:
     """Measure an inverted index under the storage model.
 
+    Works over either storage backend: ``index.items()`` yields Python
+    posting lists or columnar row views, and only their lengths and keys
+    are read.  The serialization model matches what the columnar backend
+    materialises — oid + bound columns per posting plus a key directory —
+    so the measured bytes are the snapshot-sidecar payload shape.
+
     Args:
         index: A frozen (or staging) inverted index.
         bounds_per_posting: 0 for plain lists (keyword-first baseline),

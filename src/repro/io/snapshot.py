@@ -6,21 +6,46 @@ Pickle is appropriate here: snapshots are trusted, same-codebase
 artifacts (an index is meaningless under different code anyway); the
 envelope records the library version for a clear error message.
 
+**Format 3** splits columnar index payloads out of the pickle stream:
+while the engine pickles, every :class:`~repro.index.columnar.
+CSRPostingStore` externalises its CSR arrays (offsets, oids, bound
+columns) into an uncompressed ``<snapshot>.npz`` sidecar next to the
+snapshot file, leaving only small markers in the pickle.  Loading
+resolves the markers back from the sidecar — eagerly by default, or as
+zero-copy memory maps with ``load_engine(path, mmap=True)``, in which
+case the posting payload never transits the pickle deserialiser at all
+and a sharded engine's load cost stops being pickle-bound.  Engines
+with no columnar store (pure-python backends, baselines) write no
+sidecar and behave exactly as before.
+
+Snapshot + sidecar travel as a pair: move or rename them together.
+
 For untrusted interchange use the JSONL corpus format and rebuild.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import zipfile
 from pathlib import Path
-from typing import Any
+from typing import Any, List
 
 from repro.core.errors import SealError
+from repro.index.columnar import externalize_arrays, resolve_arrays
+
+try:  # pragma: no cover - exercised implicitly by every snapshot test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 #: Bump when index internals change incompatibly.
 #: 2: execution-layer refactor — keyword-only method constructors and
 #:    sharded engines (``ShardedSealSearch``) inside snapshots.
-SNAPSHOT_FORMAT = 2
+#: 3: columnar index storage — CSR arrays externalised to an ``.npz``
+#:    sidecar (mmap-able), engine pickled as a nested blob so the
+#:    envelope is checked before any engine bytes deserialise.
+SNAPSHOT_FORMAT = 3
 
 _MAGIC = "repro-seal-snapshot"
 
@@ -29,26 +54,79 @@ class SnapshotError(SealError, RuntimeError):
     """A snapshot file is missing, corrupt, or from another format."""
 
 
+def sidecar_path(path: "str | Path") -> Path:
+    """The array-sidecar path belonging to snapshot ``path``."""
+    path = Path(path)
+    return path.with_name(path.name + ".npz")
+
+
 def save_engine(engine: Any, path: str | Path) -> None:
-    """Snapshot any engine/method object to ``path``."""
+    """Snapshot any engine/method object to ``path``.
+
+    Columnar posting arrays are written to :func:`sidecar_path` as an
+    uncompressed ``.npz``; a stale sidecar from a previous save is
+    removed when the new engine has none.
+    """
     from repro import __version__
 
+    path = Path(path)
+    arrays: List[Any] = []
+    with externalize_arrays(arrays):
+        blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
     envelope = {
         "magic": _MAGIC,
         "format": SNAPSHOT_FORMAT,
         "library_version": __version__,
-        "engine": engine,
+        "num_arrays": len(arrays),
+        # Per-array (dtype, shape) fingerprints: loads check the sidecar
+        # against these, so a snapshot paired with a stale sidecar (e.g.
+        # a crash between the two writes) fails loudly instead of serving
+        # another build's posting arrays.  Checkable under mmap without
+        # touching a single data page.
+        "array_meta": [(str(array.dtype), array.shape) for array in arrays],
+        "engine": blob,
     }
-    path = Path(path)
-    with path.open("wb") as handle:
+    # Sidecar first, snapshot second: a crash in between leaves the old
+    # snapshot (whose array_meta guards it against the new sidecar), not
+    # a new snapshot silently paired with old arrays.
+    sidecar = sidecar_path(path)
+    if arrays:
+        # np.savez stores members uncompressed (ZIP_STORED), which is
+        # what lets the mmap loader map them in place.  Write to a temp
+        # file and atomically replace: writing the sidecar in place would
+        # truncate the very file an mmap-loaded engine's arrays are
+        # mapped from (re-saving such an engine to its own path would
+        # otherwise crash with SIGBUS mid-write).
+        temp = sidecar.with_name(sidecar.name + ".tmp")
+        with temp.open("wb") as handle:  # handle, so np.savez can't re-suffix
+            _np.savez(handle, **{f"a{i}": array for i, array in enumerate(arrays)})
+        os.replace(temp, sidecar)
+    # The snapshot write is atomic too: a crash mid-dump must not destroy
+    # the previous good snapshot (and the fingerprint guard above assumes
+    # the snapshot on disk is always a complete envelope).
+    temp = path.with_name(path.name + ".tmp")
+    with temp.open("wb") as handle:
         pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, path)
+    if not arrays and sidecar.exists():
+        # Remove a stale sidecar only once the new snapshot is safely in
+        # place — a crash before this line leaves the new (sidecar-less)
+        # snapshot, which loads fine and ignores the leftover file.
+        sidecar.unlink()
 
 
-def load_engine(path: str | Path) -> Any:
+def load_engine(path: str | Path, *, mmap: bool = False) -> Any:
     """Load a snapshot written by :func:`save_engine`.
 
+    Args:
+        path: Snapshot path (the sidecar is found next to it).
+        mmap: Memory-map the sidecar arrays instead of reading them into
+            memory — near-instant loads and OS-shared pages across
+            processes; ignored when the engine has no columnar arrays.
+
     Raises:
-        SnapshotError: On missing/corrupt files or format mismatches.
+        SnapshotError: On missing/corrupt files, format mismatches, or a
+            missing/truncated sidecar.
     """
     path = Path(path)
     if not path.exists():
@@ -65,4 +143,98 @@ def load_engine(path: str | Path) -> Any:
             f"{path} uses snapshot format {envelope.get('format')}, "
             f"this library reads format {SNAPSHOT_FORMAT}; rebuild the index"
         )
-    return envelope["engine"]
+    num_arrays = envelope.get("num_arrays", 0)
+    arrays: List[Any] = []
+    if num_arrays:
+        if _np is None:
+            raise SnapshotError(
+                f"{path} holds columnar index arrays; loading it requires numpy"
+            )
+        sidecar = sidecar_path(path)
+        if not sidecar.exists():
+            raise SnapshotError(
+                f"snapshot sidecar missing: {sidecar} (snapshot and sidecar "
+                "must move together)"
+            )
+        arrays = _load_sidecar(sidecar, mmap=mmap)
+        if len(arrays) != num_arrays:
+            raise SnapshotError(
+                f"snapshot sidecar {sidecar} holds {len(arrays)} arrays, "
+                f"expected {num_arrays}; rebuild the index"
+            )
+        expected_meta = envelope.get("array_meta", [])
+        actual_meta = [(str(array.dtype), array.shape) for array in arrays]
+        if actual_meta != [(dtype, tuple(shape)) for dtype, shape in expected_meta]:
+            raise SnapshotError(
+                f"snapshot sidecar {sidecar} does not match this snapshot's "
+                "array fingerprints (stale or swapped sidecar); rebuild the index"
+            )
+    try:
+        with resolve_arrays(arrays):
+            return pickle.loads(envelope["engine"])
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, KeyError,
+            IndexError, RuntimeError) as exc:
+        raise SnapshotError(f"corrupt or incompatible snapshot {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Sidecar readers
+# ----------------------------------------------------------------------
+
+
+def _load_sidecar(path: Path, *, mmap: bool) -> List[Any]:
+    """The sidecar arrays in externalisation order (``a0``, ``a1``, …)."""
+    if not mmap:
+        with _np.load(path) as npz:
+            return [npz[f"a{i}"] for i in range(len(npz.files))]
+    return _mmap_sidecar(path)
+
+
+def _mmap_sidecar(path: Path) -> List[Any]:
+    """Memory-map each ``.npy`` member of an uncompressed ``.npz`` in place.
+
+    A ``np.savez`` archive is a zip of ``.npy`` members stored without
+    compression, so each member's array data is a contiguous byte range of
+    the archive file: seek past the zip local-file header and the npy
+    header, then hand the remaining extent to :class:`numpy.memmap`.
+    Falls back to an eager read for any member that is compressed or uses
+    an npy version we do not parse.
+    """
+    from numpy.lib import format as npy_format
+
+    by_name = {}
+    with zipfile.ZipFile(path) as archive, path.open("rb") as raw:
+        for info in archive.infolist():
+            name = info.filename.removesuffix(".npy")
+            if info.compress_type != zipfile.ZIP_STORED:
+                with archive.open(info) as member:  # pragma: no cover
+                    by_name[name] = npy_format.read_array(member)
+                continue
+            # Zip local file header: 30 fixed bytes, then name and extra.
+            raw.seek(info.header_offset)
+            header = raw.read(30)
+            if header[:4] != b"PK\x03\x04":  # pragma: no cover - defensive
+                with archive.open(info) as member:
+                    by_name[name] = npy_format.read_array(member)
+                continue
+            name_len = int.from_bytes(header[26:28], "little")
+            extra_len = int.from_bytes(header[28:30], "little")
+            raw.seek(info.header_offset + 30 + name_len + extra_len)
+            version = npy_format.read_magic(raw)
+            if version == (1, 0):
+                shape, fortran, dtype = npy_format.read_array_header_1_0(raw)
+            elif version == (2, 0):  # pragma: no cover - giant headers only
+                shape, fortran, dtype = npy_format.read_array_header_2_0(raw)
+            else:  # pragma: no cover - future npy versions
+                with archive.open(info) as member:
+                    by_name[name] = npy_format.read_array(member)
+                continue
+            by_name[name] = _np.memmap(
+                path,
+                mode="r",
+                dtype=dtype,
+                shape=shape,
+                offset=raw.tell(),
+                order="F" if fortran else "C",
+            )
+    return [by_name[f"a{i}"] for i in range(len(by_name))]

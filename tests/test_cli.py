@@ -121,6 +121,43 @@ class TestBuildAndQuery:
         assert rc == 0
         assert "1 answers [1]" in capsys.readouterr().out
 
+    def test_build_backend_and_query_mmap(self, corpus_file, tmp_path, capsys):
+        """--backend selects the index storage backend; --mmap memory-maps
+        a columnar snapshot's sidecar.  Answers match in all combinations."""
+        from repro.io.snapshot import sidecar_path
+
+        for backend, has_sidecar in (("columnar", True), ("python", False)):
+            engine = tmp_path / f"{backend}.pkl"
+            rc = main(
+                ["build", str(corpus_file), "--method", "seal", "--out", str(engine),
+                 "--mt", "8", "--max-level", "4", "--backend", backend]
+            )
+            assert rc == 0
+            assert sidecar_path(engine).exists() == has_sidecar
+            capsys.readouterr()
+            for extra in ([], ["--mmap"]):
+                rc = main(
+                    ["query", str(engine), "--region", "35,10,75,70",
+                     "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3",
+                     *extra]
+                )
+                assert rc == 0
+                assert "1 answers [1]" in capsys.readouterr().out
+
+    def test_build_invalid_backend_errors(self, corpus_file, tmp_path, capsys):
+        rc = main(["build", str(corpus_file), "--method", "token",
+                   "--out", str(tmp_path / "x.pkl"), "--backend", "sqlite"])
+        assert rc == 2
+        assert "unknown index backend" in capsys.readouterr().err
+
+    def test_build_unsupported_knob_errors_cleanly(self, corpus_file, tmp_path, capsys):
+        """Knobs a method does not take exit 2 with a message, not a
+        constructor TypeError traceback."""
+        rc = main(["build", str(corpus_file), "--method", "keyword-first",
+                   "--out", str(tmp_path / "x.pkl"), "--backend", "python"])
+        assert rc == 2
+        assert "does not accept --backend" in capsys.readouterr().err
+
     def test_query_batch_file(self, corpus_file, tmp_path, capsys, figure1_query):
         engine = tmp_path / "engine.pkl"
         main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])

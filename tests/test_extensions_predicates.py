@@ -66,7 +66,10 @@ class TestPredicateSearch:
         engine = PredicateSearch(twitter_small, predicate, twitter_small_weighter)
         for q in twitter_small_queries:
             expected = _brute_force(twitter_small, twitter_small_weighter, q, predicate)
-            assert engine.search(q).answers == expected, predicate_cls.__name__
+            answers = engine.search(q).answers
+            assert answers == expected, predicate_cls.__name__
+            # Columnar candidates must not leak NumPy scalars into answers.
+            assert all(type(oid) is int for oid in answers)
 
     def test_jaccard_predicate_matches_core(self, twitter_small, twitter_small_weighter, twitter_small_queries):
         from repro import NaiveSearch

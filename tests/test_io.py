@@ -141,6 +141,137 @@ class TestSnapshot:
         with pytest.raises(SnapshotError, match="rebuild the index"):
             load_engine(path)
 
+    def test_pre_columnar_snapshots_rejected(self, tmp_path):
+        """Format 2 pickled the engine inline with python posting lists;
+        format 3 readers must reject it loudly, not deserialise."""
+        import pickle
+
+        from repro.io.snapshot import SNAPSHOT_FORMAT
+
+        assert SNAPSHOT_FORMAT >= 3
+        path = tmp_path / "v2.pkl"
+        path.write_bytes(
+            pickle.dumps({"magic": "repro-seal-snapshot", "format": 2, "engine": None})
+        )
+        with pytest.raises(SnapshotError, match="format 2.*rebuild the index"):
+            load_engine(path)
+
+    def test_format3_sidecar_round_trip(self, tmp_path, figure1_objects,
+                                         figure1_weighter, figure1_query):
+        """Columnar engines externalise CSR arrays to an .npz sidecar;
+        loads resolve them back — eagerly or memory-mapped — with
+        identical answers, and a true ``np.memmap`` under ``mmap=True``."""
+        import numpy as np
+
+        from repro.io.snapshot import sidecar_path
+
+        method = build_method(
+            figure1_objects, "seal", figure1_weighter, mt=8, max_level=4,
+            backend="columnar",
+        )
+        expected = method.search(figure1_query).answers
+        path = tmp_path / "columnar.pkl"
+        save_engine(method, path)
+        sidecar = sidecar_path(path)
+        assert sidecar.exists() and sidecar.stat().st_size > 0
+        for mmap in (False, True):
+            restored = load_engine(path, mmap=mmap)
+            assert restored.search(figure1_query).answers == expected
+            oids = restored.index.store.oids
+            assert isinstance(oids, np.memmap) == mmap
+        # The pair travels together: a missing sidecar fails loudly.
+        sidecar.unlink()
+        with pytest.raises(SnapshotError, match="sidecar missing"):
+            load_engine(path)
+
+    def test_format3_resave_mmap_loaded_engine_to_same_path(self, tmp_path,
+                                                            figure1_objects,
+                                                            figure1_weighter,
+                                                            figure1_query):
+        """Re-saving an mmap-loaded engine over its own snapshot must not
+        truncate the sidecar its arrays are mapped from (regression: this
+        crashed the process with SIGBUS before the atomic replace)."""
+        method = build_method(
+            figure1_objects, "seal", figure1_weighter, mt=8, max_level=4,
+            backend="columnar",
+        )
+        expected = method.search(figure1_query).answers
+        path = tmp_path / "engine.pkl"
+        save_engine(method, path)
+        mapped = load_engine(path, mmap=True)
+        save_engine(mapped, path)  # sidecar replaced atomically
+        assert mapped.search(figure1_query).answers == expected
+        assert load_engine(path, mmap=True).search(figure1_query).answers == expected
+
+    def test_format3_python_backend_writes_no_sidecar(self, tmp_path, figure1_objects,
+                                                      figure1_weighter, figure1_query):
+        from repro.io.snapshot import sidecar_path
+
+        method = build_method(
+            figure1_objects, "seal", figure1_weighter, mt=8, max_level=4,
+            backend="python",
+        )
+        path = tmp_path / "python.pkl"
+        save_engine(method, path)
+        assert not sidecar_path(path).exists()
+        restored = load_engine(path, mmap=True)  # mmap is a no-op here
+        assert restored.search(figure1_query).answers == \
+            method.search(figure1_query).answers
+
+    def test_format3_stale_sidecar_rejected(self, tmp_path, figure1_objects,
+                                            figure1_weighter):
+        """A snapshot paired with another build's sidecar fails loudly:
+        array (dtype, shape) fingerprints in the envelope must match."""
+        import shutil
+
+        from repro.io.snapshot import sidecar_path
+
+        small = build_method(figure1_objects, "token", figure1_weighter,
+                             backend="columnar")
+        big = build_method(figure1_objects, "seal", figure1_weighter,
+                           mt=8, max_level=4, backend="columnar")
+        a, b = tmp_path / "a.pkl", tmp_path / "b.pkl"
+        save_engine(small, a)
+        save_engine(big, b)
+        shutil.copy(sidecar_path(b), sidecar_path(a))  # wrong arrays for a
+        with pytest.raises(SnapshotError, match="rebuild the index"):
+            load_engine(a)
+
+    def test_format3_stale_sidecar_removed_on_resave(self, tmp_path, figure1_objects,
+                                                     figure1_weighter):
+        from repro.io.snapshot import sidecar_path
+
+        path = tmp_path / "engine.pkl"
+        columnar = build_method(
+            figure1_objects, "token", figure1_weighter, backend="columnar"
+        )
+        save_engine(columnar, path)
+        assert sidecar_path(path).exists()
+        python = build_method(
+            figure1_objects, "token", figure1_weighter, backend="python"
+        )
+        save_engine(python, path)
+        assert not sidecar_path(path).exists()
+
+    def test_round_trip_sharded_engine_mmap(self, tmp_path, figure1_objects, figure1_query):
+        """A sharded columnar engine round-trips through one shared
+        sidecar and serves identical answers when memory-mapped."""
+        from repro import ShardedSealSearch
+        from repro.io.snapshot import sidecar_path
+
+        pairs = [(obj.region, obj.tokens) for obj in figure1_objects]
+        engine = ShardedSealSearch(
+            pairs, "seal", shards=3, partition="spatial", mt=4, max_level=4
+        )
+        queries = [figure1_query, figure1_query.with_thresholds(tau_r=0.5)]
+        expected = [engine.search_query(q).answers for q in queries]
+        path = tmp_path / "sharded.pkl"
+        save_engine(engine, path)
+        assert sidecar_path(path).exists()
+        restored = load_engine(path, mmap=True)
+        assert [restored.search_query(q).answers for q in queries] == expected
+        assert restored.search_batch(queries).answers() == expected
+
     def test_round_trip_sharded_engine(self, tmp_path, figure1_objects, figure1_query):
         from repro import ShardedSealSearch
 

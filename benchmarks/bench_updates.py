@@ -1,0 +1,173 @@
+"""Update-churn throughput: segmented engine vs full-rebuild baseline.
+
+Not a paper figure — this isolates the tentpole of the update-subsystem
+refactor.  The workload interleaves insert bursts with query rounds on a
+live engine, the regime the rebuild-the-world design
+(``UpdatableSealSearch``: delta pool + full rebuild past a threshold)
+cannot sustain: every rebuild pays a full index build over the whole
+corpus, so amortised insert cost is O(n).  The segmented engine seals
+fixed-size buffers into immutable segments and compacts them with
+size-tiered merges, so each object is rebuilt O(log n) times total.
+
+Both engines are configured with the *same* unindexed-pool bound
+(``BUFFER_CAP`` objects): the segmented engine seals its write buffer at
+that size, the baseline's ``rebuild_threshold`` is set so its delta pool
+rebuilds at that size.  Queries on either engine therefore exact-scan at
+most ``BUFFER_CAP`` unindexed objects — equal read amplification — and
+the bench isolates what the write paths cost for that same service
+level: a full O(n) rebuild per ``BUFFER_CAP`` inserts versus an O(cap)
+segment build plus amortised O(log n) merge participation.
+
+Reported per engine:
+
+* **inserts/sec** — churn volume over total time spent in ``insert``
+  (the amortised write path, seals/rebuilds included);
+* **query ms** — mean wall milliseconds per query *during* churn (the
+  segmented engine fans out over several segments; this prices that);
+* **rebuilds** — full rebuilds (baseline) vs segment builds + merges
+  (segmented).
+
+Scaled by ``REPRO_BENCH_N`` (initial corpus; default 10000) and
+``REPRO_BENCH_QUERIES``; churn volume defaults to N/5.  Results print
+as a fixed-width table plus a JSON report; set
+``REPRO_BENCH_JSON=<dir>`` to also write the JSON to a file (CI uploads
+it as the bench artifact).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import pytest
+
+from repro import Query, SegmentedSealSearch
+from repro.bench import format_table
+from repro.datasets import generate_queries
+from repro.extensions.updates import UpdatableSealSearch
+
+from benchmarks.conftest import emit, make_twitter_corpus, report_json
+
+UPDATES_N = int(os.environ.get("REPRO_BENCH_N", "10000"))
+UPDATES_CHURN = int(os.environ.get("REPRO_BENCH_UPDATES_CHURN", str(max(UPDATES_N // 5, 200))))
+UPDATES_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "16"))
+METHOD = os.environ.get("REPRO_BENCH_UPDATES_METHOD", "token")
+
+#: The shared unindexed-pool bound (segment buffer == baseline delta cap).
+BUFFER_CAP = int(os.environ.get("REPRO_BENCH_UPDATES_BUFFER", "256"))
+
+#: Query rounds interleaved with the insert bursts.
+ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus_and_churn():
+    """One generator run, split: first N objects seed the engines, the
+    rest arrive as churn (same space, same densities)."""
+    objects = make_twitter_corpus(UPDATES_N + UPDATES_CHURN)
+    return objects[:UPDATES_N], objects[UPDATES_N:]
+
+
+@pytest.fixture(scope="module")
+def churn_queries(corpus_and_churn):
+    initial, _ = corpus_and_churn
+    return list(
+        generate_queries(
+            initial, "small", num_queries=UPDATES_QUERIES, seed=13,
+            tau_r=0.2, tau_t=0.2,
+        )
+    )
+
+
+def _run_churn(engine, churn, queries):
+    """Interleave ROUNDS insert bursts with query rounds; time each side."""
+    insert_seconds = 0.0
+    query_seconds = 0.0
+    queries_run = 0
+    burst = max(1, len(churn) // ROUNDS)
+    for start in range(0, len(churn), burst):
+        chunk = churn[start : start + burst]
+        started = time.perf_counter()
+        for obj in chunk:
+            engine.insert(obj.region, obj.tokens)
+        insert_seconds += time.perf_counter() - started
+        started = time.perf_counter()
+        for query in queries:
+            engine.search(query.region, query.tokens, query.tau_r, query.tau_t)
+        query_seconds += time.perf_counter() - started
+        queries_run += len(queries)
+    return {
+        "inserts_per_sec": len(churn) / insert_seconds if insert_seconds else 0.0,
+        "insert_seconds": insert_seconds,
+        "query_ms": 1000.0 * query_seconds / queries_run if queries_run else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="updates")
+def test_update_churn_segmented_vs_rebuild(benchmark, corpus_and_churn, churn_queries):
+    initial, churn = corpus_and_churn
+    pairs = [(obj.region, obj.tokens) for obj in initial]
+
+    def run():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            rebuild = UpdatableSealSearch(
+                pairs, METHOD, rebuild_threshold=BUFFER_CAP / len(pairs)
+            )
+        segmented = SegmentedSealSearch(pairs, METHOD, buffer_capacity=BUFFER_CAP)
+
+        rebuild_stats = _run_churn(rebuild, churn, churn_queries)
+        rebuild_stats["rebuilds"] = rebuild.rebuilds
+        segmented_stats = _run_churn(segmented, churn, churn_queries)
+        segmented_stats["segments"] = segmented.num_segments
+
+        # Converged engines must agree: flush/compact ends the idf-drift
+        # window on both, after which answers are from-scratch exact.
+        rebuild.flush()
+        segmented.compact()
+        probe = churn_queries[0]
+        assert rebuild.search(
+            probe.region, probe.tokens, probe.tau_r, probe.tau_t
+        ).answers == segmented.search(
+            probe.region, probe.tokens, probe.tau_r, probe.tau_t
+        ).answers
+
+        speedup = (
+            segmented_stats["inserts_per_sec"] / rebuild_stats["inserts_per_sec"]
+            if rebuild_stats["inserts_per_sec"]
+            else 0.0
+        )
+        return rebuild_stats, segmented_stats, speedup
+
+    rebuild_stats, segmented_stats, speedup = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    title = (
+        f"Insert throughput and query latency under churn — {METHOD} method, "
+        f"{UPDATES_N} initial objects, {UPDATES_CHURN} inserts, "
+        f"{UPDATES_QUERIES} queries × {ROUNDS} rounds, pool bound {BUFFER_CAP}"
+    )
+    rows = {
+        "full rebuild": [
+            round(rebuild_stats["inserts_per_sec"]),
+            f"{rebuild_stats['query_ms']:.2f}",
+            rebuild_stats["rebuilds"],
+        ],
+        "segmented": [
+            round(segmented_stats["inserts_per_sec"]),
+            f"{segmented_stats['query_ms']:.2f}",
+            segmented_stats["segments"],
+        ],
+        "speedup": [f"{speedup:.1f}x", "", ""],
+    }
+    emit(format_table(title, "engine", ["inserts/s", "query ms", "rebuilds/segs"], rows))
+    report_json(
+        "bench_updates.json",
+        title,
+        {
+            "full_rebuild": rebuild_stats,
+            "segmented": segmented_stats,
+            "insert_speedup": speedup,
+        },
+    )

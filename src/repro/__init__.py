@@ -32,6 +32,10 @@ through the canonical filter→verify pipeline
 * :class:`~repro.exec.ShardedSealSearch` — the corpus partitioned into K
   shards (round-robin or spatial policy), one index per shard, queries
   fanned out over a thread pool and answers merged back to global oids.
+* :class:`~repro.exec.SegmentedSealSearch` — the updatable engine: a
+  write buffer sealed into immutable segments, deletes as tombstones,
+  size-tiered merges, queries fanned over segments through the same
+  pipeline (may start empty; amortised O(log n) rebuilds per object).
 
 Executors never change answers — batched and sharded results are
 guaranteed identical to sequential per-query search, and the test suite
@@ -49,6 +53,7 @@ from repro.core.similarity import spatial_similarity, textual_similarity
 from repro.core.stats import SearchResult, SearchStats
 from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
 from repro.exec.pipeline import Executor, SerialExecutor, execute_query
+from repro.exec.segments import SegmentedSealSearch
 from repro.exec.sharded import ShardedSealSearch
 from repro.filters import GridFilter, HierarchicalFilter, HybridFilter, TokenFilter
 from repro.geometry import Rect
@@ -78,6 +83,7 @@ __all__ = [
     "SealSearch",
     "SearchResult",
     "SearchStats",
+    "SegmentedSealSearch",
     "SerialExecutor",
     "ShardedSealSearch",
     "SpatialFirstSearch",

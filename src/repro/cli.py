@@ -10,11 +10,17 @@ Everything the library does, scriptable without writing Python::
         --out oracle.pkl
     seal-repro build corpus.jsonl --method seal --shards 4 \\
         --partition spatial --out sharded.pkl
+    seal-repro build corpus.jsonl --method seal --segmented \\
+        --out live.pkl
     seal-repro query engine.pkl --region 10,10,20,20 --tokens coffee,tea \\
         --tau-r 0.3 --tau-t 0.3
     seal-repro query engine.pkl --queries queries.jsonl
     seal-repro query engine.pkl --batch-file queries.jsonl
     seal-repro query engine.pkl --batch-file queries.jsonl --mmap
+    seal-repro update live.pkl --region 10,10,20,20 --tokens coffee
+    seal-repro update live.pkl --from more-objects.jsonl
+    seal-repro delete live.pkl --oids 3,17
+    seal-repro compact live.pkl
     seal-repro sweep corpus.jsonl --methods seal,irtree --axis tau_r
 
 (Also reachable as ``python -m repro``.)
@@ -35,6 +41,7 @@ from repro.bench import format_series_table, measure_workload, sweep as run_swee
 from repro.core.engine import METHOD_REGISTRY
 from repro.exec.batch import BatchExecutor
 from repro.exec.partition import PARTITION_POLICIES
+from repro.exec.segments import SegmentedSealSearch
 from repro.exec.sharded import ShardedSealSearch
 from repro.datasets import generate_queries, generate_twitter, generate_usa
 from repro.io import load_corpus, load_engine, load_queries, save_corpus, save_engine, save_queries
@@ -104,9 +111,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--partition", choices=sorted(PARTITION_POLICIES), default="round-robin",
         help="shard partitioning policy (with --shards)",
     )
+    build.add_argument(
+        "--segmented", action="store_true",
+        help="build an updatable segmented engine (accepts update/delete/compact)",
+    )
+    build.add_argument(
+        "--buffer-capacity", type=int, default=None,
+        help="segmented engine: seal the write buffer at this many objects",
+    )
+    build.add_argument(
+        "--merge-fanout", type=int, default=None,
+        help="segmented engine: merge when this many segments share a size tier",
+    )
     for name, type_ in _METHOD_PARAMS.items():
         build.add_argument(f"--{name.replace('_', '-')}", type=type_, default=None)
     build.set_defaults(handler=_cmd_build)
+
+    update = sub.add_parser(
+        "update", help="insert objects into a segmented engine snapshot"
+    )
+    update.add_argument("engine")
+    update.add_argument("--region", help="x1,y1,x2,y2 of one object to insert")
+    update.add_argument("--tokens", help="comma-separated tokens of that object")
+    update.add_argument(
+        "--from", dest="from_corpus",
+        help="JSONL corpus whose objects are all inserted (oids reassigned)",
+    )
+    update.add_argument("--out", help="write the updated snapshot here (default: in place)")
+    update.set_defaults(handler=_cmd_update)
+
+    delete = sub.add_parser(
+        "delete", help="tombstone objects in a segmented engine snapshot"
+    )
+    delete.add_argument("engine")
+    delete.add_argument("--oids", required=True, help="comma-separated oids to delete")
+    delete.add_argument("--out", help="write the updated snapshot here (default: in place)")
+    delete.set_defaults(handler=_cmd_delete)
+
+    compact = sub.add_parser(
+        "compact", help="fully compact a segmented engine snapshot (refreshes idf weights)"
+    )
+    compact.add_argument("engine")
+    compact.add_argument("--out", help="write the compacted snapshot here (default: in place)")
+    compact.set_defaults(handler=_cmd_compact)
 
     query = sub.add_parser("query", help="query an engine snapshot")
     query.add_argument("engine")
@@ -201,6 +248,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
         flags = ", ".join("--" + name.replace("_", "-") for name in unsupported)
         print(f"error: method {args.method!r} does not accept {flags}", file=sys.stderr)
         return 2
+    if args.segmented and args.shards is not None:
+        print("error: --segmented and --shards are mutually exclusive", file=sys.stderr)
+        return 2
+    if not args.segmented and (
+        args.buffer_capacity is not None or args.merge_fanout is not None
+    ):
+        print(
+            "error: --buffer-capacity/--merge-fanout require --segmented",
+            file=sys.stderr,
+        )
+        return 2
     started = time.perf_counter()
     if args.shards is not None:
         engine = ShardedSealSearch(
@@ -211,6 +269,19 @@ def _cmd_build(args: argparse.Namespace) -> int:
             **params,
         )
         label = f"{args.method} × {engine.num_shards} {args.partition} shards"
+    elif args.segmented:
+        knobs = {}
+        if args.buffer_capacity is not None:
+            knobs["buffer_capacity"] = args.buffer_capacity
+        if args.merge_fanout is not None:
+            knobs["merge_fanout"] = args.merge_fanout
+        engine = SegmentedSealSearch(
+            ((obj.region, obj.tokens) for obj in objects),
+            args.method,
+            **knobs,
+            **params,
+        )
+        label = f"{args.method} segmented ({engine.num_segments} segments)"
     else:
         engine = build_method(objects, args.method, **params)
         label = args.method
@@ -228,6 +299,103 @@ def _engine_search(engine, query: Query):
     if hasattr(engine, "search_query"):
         return engine.search_query(query)
     return engine.search(query)
+
+
+def _parse_region(text: str) -> Rect | None:
+    try:
+        coords = [float(v) for v in text.split(",")]
+    except ValueError:
+        return None
+    if len(coords) != 4:
+        return None
+    return Rect(*coords)
+
+
+def _load_segmented(path: str):
+    """Load a snapshot that must hold a segmented (updatable) engine."""
+    engine = load_engine(path)
+    if not isinstance(engine, SegmentedSealSearch):
+        print(
+            f"error: {path} does not hold a segmented engine; "
+            "rebuild it with `build --segmented`",
+            file=sys.stderr,
+        )
+        return None
+    return engine
+
+
+def _segmented_summary(engine: SegmentedSealSearch) -> str:
+    return (
+        f"{len(engine)} live objects, {engine.num_segments} segments, "
+        f"{engine.pending} buffered, {engine.tombstones} tombstones"
+    )
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    engine = _load_segmented(args.engine)
+    if engine is None:
+        return 2
+    if not args.from_corpus and not args.region and args.tokens is None:
+        print("error: provide --region/--tokens and/or --from", file=sys.stderr)
+        return 2
+    inserts: List[tuple] = []
+    if args.from_corpus:
+        inserts.extend((obj.region, obj.tokens) for obj in load_corpus(args.from_corpus))
+    if args.region or args.tokens is not None:
+        if not args.region or args.tokens is None:
+            print("error: --region and --tokens go together", file=sys.stderr)
+            return 2
+        region = _parse_region(args.region)
+        if region is None:
+            print("error: --region needs x1,y1,x2,y2", file=sys.stderr)
+            return 2
+        inserts.append((region, frozenset(t for t in args.tokens.split(",") if t)))
+    if not inserts:
+        # An explicitly-given --from file that held zero objects is a
+        # successful no-op, not a usage error.
+        print(f"inserted 0 objects ({args.from_corpus} is empty); "
+              f"{_segmented_summary(engine)}")
+        return 0
+    oids = [engine.insert(region, tokens) for region, tokens in inserts]
+    save_engine(engine, args.out or args.engine)
+    span = f"oid {oids[0]}" if len(oids) == 1 else f"oids {oids[0]}..{oids[-1]}"
+    print(f"inserted {len(oids)} objects ({span}); {_segmented_summary(engine)}")
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace) -> int:
+    engine = _load_segmented(args.engine)
+    if engine is None:
+        return 2
+    try:
+        oids = [int(v) for v in args.oids.split(",") if v]
+    except ValueError:
+        print("error: --oids needs comma-separated integers", file=sys.stderr)
+        return 2
+    if not oids:
+        print("error: --oids needs at least one oid", file=sys.stderr)
+        return 2
+    deleted, missing = [], []
+    for oid in oids:
+        (deleted if engine.delete(oid) else missing).append(oid)
+    if deleted or args.out:
+        # Nothing deleted and no explicit destination: skip the rewrite.
+        save_engine(engine, args.out or args.engine)
+    note = f" (not live: {missing})" if missing else ""
+    print(f"deleted {len(deleted)} objects{note}; {_segmented_summary(engine)}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    engine = _load_segmented(args.engine)
+    if engine is None:
+        return 2
+    started = time.perf_counter()
+    engine.compact()
+    elapsed = time.perf_counter() - started
+    save_engine(engine, args.out or args.engine)
+    print(f"compacted in {elapsed:.1f}s; {_segmented_summary(engine)}")
+    return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -253,12 +421,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("error: provide --region and --tokens, --queries, or --batch-file",
                   file=sys.stderr)
             return 2
-        coords = [float(v) for v in args.region.split(",")]
-        if len(coords) != 4:
+        region = _parse_region(args.region)
+        if region is None:
             print("error: --region needs x1,y1,x2,y2", file=sys.stderr)
             return 2
         tokens = frozenset(t for t in args.tokens.split(",") if t)
-        queries = [Query(Rect(*coords), tokens, args.tau_r, args.tau_t)]
+        queries = [Query(region, tokens, args.tau_r, args.tau_t)]
 
     for i, query in enumerate(queries):
         result = _engine_search(engine, query)

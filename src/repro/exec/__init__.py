@@ -8,6 +8,10 @@
 * :mod:`repro.exec.partition` — corpus partitioning policies for sharding.
 * :mod:`repro.exec.sharded` — :class:`ShardedSealSearch`: K per-shard
   indexes behind one facade, answers identical to the unsharded engine.
+* :mod:`repro.exec.segments` — :class:`SegmentedSealSearch`: the
+  updatable engine (write buffer + immutable segments + tombstones with
+  size-tiered merges), searches fanned over segments through the same
+  pipeline.
 
 Every executor preserves exact answer semantics: batching and sharding
 change *throughput*, never results.
@@ -23,6 +27,7 @@ __all__ = [
     "BatchStats",
     "Executor",
     "PARTITION_POLICIES",
+    "SegmentedSealSearch",
     "SerialExecutor",
     "ShardedSealSearch",
     "ShardedSearchResult",
@@ -35,6 +40,7 @@ __all__ = [
 #: imports the method base class, which imports this package — so eager
 #: import here would cycle.  Lazy resolution breaks the loop.
 _LAZY = {
+    "SegmentedSealSearch": "repro.exec.segments",
     "ShardedSealSearch": "repro.exec.sharded",
     "ShardedSearchResult": "repro.exec.sharded",
     "shutdown_shared_pool": "repro.exec.sharded",

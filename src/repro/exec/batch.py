@@ -228,6 +228,13 @@ class BatchExecutor(Executor):
         self.min_vector_candidates = min_vector_candidates
 
     def run(self, method: "SearchMethod", queries: Sequence[Query]) -> BatchResult:
+        # Segmented engines are not one method but a fan-out of them;
+        # they publish ``batch_fanout`` and this executor drives each of
+        # their sources (segments + write buffer) through the normal
+        # batched path below, so batch workloads survive churn.
+        fanout = getattr(method, "batch_fanout", None)
+        if fanout is not None:
+            return fanout(queries, executor=self)
         queries = list(queries)
         started = time.perf_counter()
         verify = None

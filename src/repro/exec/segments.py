@@ -1,0 +1,536 @@
+"""Segmented updatable engine: immutable segments + write buffer (LSM-style).
+
+SEAL's signatures are corpus-dependent (idf weights, cell orders, HSS
+partitions), so the static indexes cannot absorb writes in place.  The
+first-generation answer (``repro.extensions.updates``) rebuilt the whole
+index once a delta pool outgrew a threshold — O(n) work per rebuild,
+no deletes, and no empty bootstrap.  This module replaces it with the
+standard streaming-systems design (FAST, Mahmood et al.):
+
+* **Write buffer** — inserts append to a small in-memory pool that is
+  scanned *exactly* at query time (the pool is bounded, so this is
+  cheap and always answer-correct);
+* **Immutable segments** — when the buffer reaches ``buffer_capacity``
+  it is *sealed*: a full index (any registry method, either storage
+  backend, reusing the columnar freeze path) is built over just those
+  objects;
+* **Tombstones** — deletes mark a global oid dead; dead oids are masked
+  out of every answer and physically dropped the next time a merge
+  touches their segment;
+* **Size-tiered merges** — whenever ``merge_fanout`` segments occupy the
+  same size tier they are compacted into one (live objects only).  Every
+  object is therefore rebuilt O(log n) times over its lifetime instead
+  of O(n / threshold) times, which is what makes sustained insert
+  throughput possible.
+
+Searches fan out across segments plus the buffer through the canonical
+:func:`~repro.exec.pipeline.execute_query` pipeline and merge per-source
+:class:`~repro.core.stats.SearchStats` into one (counters and times sum
+— the fan-out is serial, so summed seconds are the honest cost).
+
+**Weighter semantics (idf drift).**  One engine-global
+:class:`~repro.text.weights.TokenWeighter` is shared by every segment
+*and* by verification, so all answers are internally consistent at all
+times.  The weighter snapshots the live corpus at *full compaction
+points* (construction over initial data, :meth:`compact`, or any merge
+that leaves a single segment holding the entire corpus); between those
+points idf weights drift from a from-scratch build — tokens inserted
+since get the unknown-token maximum idf — and converge exactly at the
+next compaction.  This is the same deferred-maintenance trade every
+updatable text index makes, inherited from the rebuild-the-world
+predecessor.  While the engine has *no* sealed segment yet (the empty
+bootstrap), the live set *is* the buffer, so the weighter tracks it
+exactly and there is no drift at all.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Set
+
+from repro.baselines.naive import NaiveSearch
+from repro.core.engine import build_method
+from repro.core.objects import Query, SpatioTextualObject
+from repro.core.stats import SearchResult, SearchStats
+from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.pipeline import execute_query
+from repro.geometry import Rect
+from repro.index.storage import IndexSizeReport
+from repro.text.weights import TokenWeighter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.method import SearchMethod
+
+
+def _empty_weighter() -> TokenWeighter:
+    """The weighter of an engine that has never seen an object.
+
+    ``|O| = 1`` with an empty vocabulary: every weight is 0, which is
+    irrelevant (there is nothing to answer) and replaced the moment real
+    data arrives.
+    """
+    return TokenWeighter.from_counts({}, 1)
+
+
+class _Segment:
+    """One immutable sealed index plus its local→global oid mapping."""
+
+    __slots__ = ("method", "to_global")
+
+    def __init__(self, method: "SearchMethod", to_global: List[int]) -> None:
+        self.method = method
+        self.to_global = to_global
+
+    def __len__(self) -> int:
+        return len(self.to_global)
+
+
+class SegmentedSealSearch:
+    """An updatable SEAL engine: write buffer, sealed segments, tombstones.
+
+    Facade-compatible with :class:`~repro.core.engine.SealSearch`
+    (``search``, ``search_query``, ``search_batch``, ``object``,
+    ``len``) and additionally accepts :meth:`insert`, :meth:`delete`,
+    :meth:`flush` and :meth:`compact`.  May start empty.
+
+    Args:
+        data: Initial ``(region, tokens)`` pairs; sealed into one segment
+            (a full compaction point).  May be empty.
+        method: Registry method name built per segment (default ``seal``).
+        buffer_capacity: Seal the write buffer into a segment once it
+            holds this many objects.  ``None`` disables auto-sealing —
+            the caller then controls sealing via :meth:`flush` /
+            :meth:`compact` (the rebuild-the-world shim uses this).
+        merge_fanout: Merge whenever this many segments share a size
+            tier (tier ``t`` holds segments of ``capacity·fanout^t`` to
+            ``capacity·fanout^(t+1)`` objects).
+        **params: Method constructor knobs, passed to every segment
+            build (``backend=...``, ``granularity=...``, …).
+
+    Examples:
+        >>> engine = SegmentedSealSearch(method="token")   # empty bootstrap
+        >>> oid = engine.insert(Rect(0, 0, 10, 10), {"coffee"})
+        >>> engine.delete(oid)
+        True
+        >>> len(engine)
+        0
+    """
+
+    def __init__(
+        self,
+        data: Iterable[tuple[Rect, Iterable[str]]] = (),
+        method: str = "seal",
+        *,
+        buffer_capacity: int | None = 256,
+        merge_fanout: int = 4,
+        **params,
+    ) -> None:
+        if buffer_capacity is not None and buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be a positive int or None")
+        if merge_fanout < 2:
+            raise ValueError("merge_fanout must be at least 2")
+        self._method_name = method
+        self._params = dict(params)
+        self.buffer_capacity = buffer_capacity
+        self.merge_fanout = merge_fanout
+        #: Full-compaction events (explicit or via an all-segment merge).
+        self.compactions = 0
+        self._live: Dict[int, SpatioTextualObject] = {}
+        self._buffer: List[SpatioTextualObject] = []
+        self._buffer_method: NaiveSearch | None = None
+        self._tombstones: Set[int] = set()
+        self._segments: List[_Segment] = []
+        self._next_oid = 0
+        #: True while the weighter may lag the live corpus (idf drift).
+        self._weights_stale = False
+        #: True while the bootstrap-phase weighter must be lazily rebuilt
+        #: from the buffer on next observation (see ``weighter``).
+        self._weighter_dirty = False
+        self._weighter = _empty_weighter()
+        initial = [
+            SpatioTextualObject(oid, region, frozenset(tokens))
+            for oid, (region, tokens) in enumerate(data)
+        ]
+        if initial:
+            self._next_oid = len(initial)
+            self._live = {obj.oid: obj for obj in initial}
+            self._weighter = TokenWeighter(obj.tokens for obj in initial)
+            self._add_segment(initial)
+
+    @property
+    def weighter(self) -> TokenWeighter:
+        """The engine-global idf weighter (see the module docstring).
+
+        During the bootstrap phase mutations only mark it dirty; the
+        rebuild from the buffer happens here, on first observation
+        (query, seal, or direct access) — so a burst of k unsealed
+        inserts costs O(k) bookkeeping, not k weighter rebuilds.
+        """
+        if self._weighter_dirty:
+            self._weighter = (
+                TokenWeighter(obj.tokens for obj in self._buffer)
+                if self._buffer
+                else _empty_weighter()
+            )
+            self._weighter_dirty = False
+        return self._weighter
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, region: Rect, tokens: Iterable[str]) -> int:
+        """Add one object; returns its global oid (stable forever)."""
+        oid = self._next_oid
+        self._next_oid += 1
+        obj = SpatioTextualObject(oid, region, frozenset(tokens))
+        self._live[oid] = obj
+        self._buffer.append(obj)
+        self._buffer_method = None
+        self._bookkeep_weights()
+        if (
+            self.buffer_capacity is not None
+            and len(self._buffer) >= self.buffer_capacity
+        ):
+            self._seal_buffer()
+        return oid
+
+    def delete(self, oid: int) -> bool:
+        """Tombstone one object; returns False if it was not live.
+
+        Buffered objects are dropped outright; sealed objects stay in
+        their segment until a merge physically removes them, masked out
+        of every answer in the meantime.
+        """
+        obj = self._live.pop(oid, None)
+        if obj is None:
+            return False
+        for i, pending in enumerate(self._buffer):
+            if pending.oid == oid:
+                del self._buffer[i]
+                self._buffer_method = None
+                break
+        else:
+            self._tombstones.add(oid)
+        self._bookkeep_weights()
+        return True
+
+    def flush(self) -> None:
+        """Seal the write buffer into a segment (merges may cascade)."""
+        self._seal_buffer()
+
+    def compact(self) -> None:
+        """Merge everything into one segment and refresh idf weights.
+
+        The full-compaction point: tombstoned objects are physically
+        dropped, the weighter is rebuilt from the live corpus, and
+        answers from here on exactly match a from-scratch build.
+        No-op when already fully compacted and weights are fresh.
+        """
+        if (
+            not self._weights_stale
+            and not self._buffer
+            and not self._tombstones
+            and len(self._segments) <= 1
+        ):
+            return
+        live = self._live_in_layout_order()
+        self._segments = []
+        self._buffer = []
+        self._buffer_method = None
+        self._tombstones = set()
+        self._weighter = (
+            TokenWeighter(obj.tokens for obj in live) if live else _empty_weighter()
+        )
+        self._weighter_dirty = False
+        self._weights_stale = False
+        if live:
+            self._add_segment(live)
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Sealing and merging internals
+    # ------------------------------------------------------------------
+
+    def _bookkeep_weights(self) -> None:
+        """After a mutation: track (or avoid) idf drift.
+
+        With no sealed segment the live set *is* the buffer, so the
+        weighter tracks it exactly — rebuilt lazily on observation (the
+        ``weighter`` property), which keeps insert bursts O(1) per
+        insert.  Once segments exist their indexes were built against
+        the current weighter, which therefore must not change until the
+        next full compaction — the drift trade.
+        """
+        if self._segments:
+            self._weights_stale = True
+        else:
+            self._weighter_dirty = True
+            self._weights_stale = False
+
+    def _add_segment(self, objects: Sequence[SpatioTextualObject]) -> None:
+        """Build an index over ``objects`` (re-oided locally) and append."""
+        local = [
+            SpatioTextualObject(i, obj.region, obj.tokens)
+            for i, obj in enumerate(objects)
+        ]
+        method = build_method(local, self._method_name, self.weighter, **self._params)
+        self._segments.append(_Segment(method, [obj.oid for obj in objects]))
+
+    def _seal_buffer(self) -> None:
+        if not self._buffer:
+            return
+        # A first seal from the bootstrap phase is itself a full
+        # compaction point: force the lazy weighter rebuild *while the
+        # buffer still holds the objects*, so the fresh segment carries
+        # fresh weights.
+        self.weighter
+        sealed = self._buffer
+        self._buffer = []
+        self._buffer_method = None
+        self._add_segment(sealed)
+        self._maybe_merge()
+
+    def _tier(self, size: int) -> int:
+        base = max(1, self.buffer_capacity or 1)
+        tier = 0
+        while size >= base * self.merge_fanout ** (tier + 1):
+            tier += 1
+        return tier
+
+    def _maybe_merge(self) -> None:
+        """Size-tiered compaction: merge any tier holding ≥ fanout segments."""
+        while True:
+            by_tier: Dict[int, List[_Segment]] = {}
+            for segment in self._segments:
+                by_tier.setdefault(self._tier(len(segment)), []).append(segment)
+            group = None
+            for tier in sorted(by_tier):
+                if len(by_tier[tier]) >= self.merge_fanout:
+                    group = by_tier[tier]
+                    break
+            if group is None:
+                return
+            self._merge_group(group)
+
+    def _merge_group(self, group: List[_Segment]) -> None:
+        tombstones = self._tombstones
+        live: List[SpatioTextualObject] = [
+            self._live[oid]
+            for segment in group
+            for oid in segment.to_global
+            if oid not in tombstones
+        ]
+        merged_all = len(group) == len(self._segments) and not self._buffer
+        self._segments = [s for s in self._segments if s not in group]
+        for segment in group:
+            tombstones.difference_update(segment.to_global)
+        if merged_all and self._weights_stale:
+            # The merge output will hold the entire corpus, so refresh
+            # the weighter *before* building — a free full compaction.
+            self._weighter = (
+                TokenWeighter(obj.tokens for obj in live)
+                if live
+                else _empty_weighter()
+            )
+            self._weighter_dirty = False
+            self._weights_stale = False
+            self.compactions += 1
+        if live:
+            self._add_segment(live)
+
+    def _live_in_layout_order(self) -> List[SpatioTextualObject]:
+        """Live objects, segments first (in segment order) then buffer."""
+        tombstones = self._tombstones
+        out = [
+            self._live[oid]
+            for segment in self._segments
+            for oid in segment.to_global
+            if oid not in tombstones
+        ]
+        out.extend(self._buffer)
+        return out
+
+    def _buffer_scan_method(self) -> NaiveSearch:
+        if self._buffer_method is None:
+            local = [
+                SpatioTextualObject(i, obj.region, obj.tokens)
+                for i, obj in enumerate(self._buffer)
+            ]
+            self._buffer_method = NaiveSearch(local, self.weighter)
+        return self._buffer_method
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _sources(self):
+        """(method, to_global) pairs to fan a query out over."""
+        sources = [(segment.method, segment.to_global) for segment in self._segments]
+        if self._buffer:
+            sources.append(
+                (self._buffer_scan_method(), [obj.oid for obj in self._buffer])
+            )
+        return sources
+
+    def _merge_source_results(
+        self, results: Sequence[SearchResult], mappings: Sequence[List[int]]
+    ) -> SearchResult:
+        tombstones = self._tombstones
+        answers: List[int] = []
+        stats = SearchStats()
+        for result, to_global in zip(results, mappings):
+            stats.merge(result.stats)
+            answers.extend(
+                oid
+                for oid in (to_global[local] for local in result.answers)
+                if oid not in tombstones
+            )
+        answers.sort()
+        stats.results = len(answers)
+        return SearchResult(answers=answers, stats=stats)
+
+    def search_query(self, query: Query) -> SearchResult:
+        """Fan one query over every segment plus the buffer; merge answers."""
+        sources = self._sources()
+        results = [execute_query(method, query) for method, _ in sources]
+        return self._merge_source_results(results, [m for _, m in sources])
+
+    def search(
+        self,
+        region: Rect,
+        tokens: Iterable[str],
+        tau_r: float,
+        tau_t: float,
+    ) -> SearchResult:
+        """Find all live objects with ``simR ≥ tau_r`` and ``simT ≥ tau_t``."""
+        query = Query(region=region, tokens=frozenset(tokens), tau_r=tau_r, tau_t=tau_t)
+        return self.search_query(query)
+
+    def batch_fanout(self, queries: Sequence[Query], *, executor: BatchExecutor) -> BatchResult:
+        """The :class:`BatchExecutor` path over a segmented engine.
+
+        Each segment (and the buffer scan) processes the whole batch with
+        the executor's shared scratch; answers then merge per query with
+        tombstone masking — identical to per-query :meth:`search_query`.
+        """
+        queries = list(queries)
+        started = time.perf_counter()
+        sources = self._sources()
+        batches = [executor.run(method, queries) for method, _ in sources]
+        mappings = [m for _, m in sources]
+        results = [
+            self._merge_source_results([batch.results[i] for batch in batches], mappings)
+            for i in range(len(queries))
+        ]
+        elapsed = time.perf_counter() - started
+        totals = SearchStats()
+        for result in results:
+            totals.merge(result.stats)
+        return BatchResult(
+            results=results,
+            stats=BatchStats(queries=len(queries), totals=totals, elapsed_seconds=elapsed),
+        )
+
+    def search_batch(
+        self, queries: Sequence[Query], *, executor: BatchExecutor | None = None
+    ) -> BatchResult:
+        """Run many queries with shared per-batch setup (see ``batch_fanout``)."""
+        return self.batch_fanout(
+            queries, executor=executor if executor is not None else BatchExecutor()
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def object(self, oid: int) -> SpatioTextualObject:
+        """Resolve a live oid back to its object (KeyError when deleted)."""
+        try:
+            return self._live[oid]
+        except KeyError:
+            raise KeyError(f"oid {oid} is not live (never inserted, or deleted)") from None
+
+    def __len__(self) -> int:
+        """Live objects (sealed + buffered, tombstoned excluded)."""
+        return len(self._live)
+
+    @property
+    def pending(self) -> int:
+        """Objects currently in the write buffer."""
+        return len(self._buffer)
+
+    @property
+    def tombstones(self) -> int:
+        """Deleted objects still physically present in a segment."""
+        return len(self._tombstones)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def segment_sizes(self) -> List[int]:
+        """Physical size of each segment (tombstoned objects included)."""
+        return [len(segment) for segment in self._segments]
+
+    def segment_methods(self) -> List["SearchMethod"]:
+        """The per-segment index methods, in segment order."""
+        return [segment.method for segment in self._segments]
+
+    def similarities(self, query: Query, oid: int) -> tuple[float, float]:
+        """The exact (spatial, textual) similarities of one live object."""
+        from repro.core.similarity import spatial_similarity, textual_similarity
+
+        obj = self.object(oid)
+        return (
+            spatial_similarity(query.region, obj.region),
+            textual_similarity(query.tokens, obj.tokens, self.weighter),
+        )
+
+    def index_size(self) -> IndexSizeReport | None:
+        """Summed per-segment accounting; None if any segment lacks it."""
+        reports = [segment.method.index_size() for segment in self._segments]
+        if not reports or any(report is None for report in reports):
+            return None
+        return IndexSizeReport(
+            num_lists=sum(r.num_lists for r in reports),
+            num_postings=sum(r.num_postings for r in reports),
+            directory_bytes=sum(r.directory_bytes for r in reports),
+            posting_bytes=sum(r.posting_bytes for r in reports),
+            page_bytes=sum(r.page_bytes for r in reports),
+        )
+
+    def snapshot_manifest(self) -> dict:
+        """Segment/tombstone accounting stored in snapshot envelopes."""
+        tombstones = self._tombstones
+        return {
+            "kind": "segmented",
+            "method": self._method_name,
+            "next_oid": self._next_oid,
+            "live": len(self._live),
+            "buffer": len(self._buffer),
+            "tombstones": len(tombstones),
+            "compactions": self.compactions,
+            "segments": [
+                {
+                    "objects": len(segment),
+                    "live": sum(1 for oid in segment.to_global if oid not in tombstones),
+                    "tier": self._tier(len(segment)),
+                }
+                for segment in self._segments
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegmentedSealSearch(live={len(self._live)}, method={self._method_name!r}, "
+            f"segments={len(self._segments)}, buffered={len(self._buffer)}, "
+            f"tombstones={len(self._tombstones)})"
+        )
+
+    # The buffer-scan method is derived state; rebuild it lazily after a
+    # snapshot load rather than pickling a second copy of the buffer.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_buffer_method"] = None
+        return state

@@ -12,8 +12,9 @@ top of the core library:
   by threshold descent over any filter method.
 * :mod:`~repro.extensions.multiregion` — multi-region ROIs (clustered
   user activity) with exact union-of-rectangles similarity.
-* :mod:`~repro.extensions.updates` — incremental inserts via a
-  main+delta (LSM-style) index pair.
+* :mod:`~repro.extensions.updates` — the deprecated rebuild-the-world
+  updatable engine, now a shim over the segmented LSM-style engine
+  (:class:`repro.exec.segments.SegmentedSealSearch`).
 """
 
 from repro.extensions.join import brute_force_join, similarity_join

@@ -44,7 +44,11 @@ def similarity_join(
     """All object pairs similar on both axes (Definition 3, symmetric).
 
     Args:
-        objects: The corpus (dense oids).
+        objects: The corpus.  Oids may be sparse or permuted — the
+            implementation indexes by *position* internally and only
+            reports oids in the output pairs (oids must be distinct;
+            a pair of objects sharing an oid is outside Definition 3's
+            ``a.oid < b.oid`` and is never reported).
         tau_r: Spatial Jaccard threshold; must be > 0 (a zero spatial
             threshold makes the join the full textual cross product —
             run it axis-wise instead).
@@ -71,9 +75,12 @@ def similarity_join(
     spatial = GridScheme.from_corpus(objects, granularity)
     token_totals = [weighter.total_weight(obj.tokens) for obj in objects]
 
-    # Growing inverted index: (token, cell) -> [(oid, r_bound, t_bound)].
-    # Lists stay small (prefix postings only), so plain lists beat the
-    # frozen PostingList machinery here.
+    # Growing inverted index: (token, cell) -> [(position, r_bound,
+    # t_bound)].  Postings carry corpus *positions*, never oids — oids
+    # may be sparse or permuted, so indexing ``objects`` by oid would
+    # silently pair the wrong records.  Lists stay small (prefix
+    # postings only), so plain lists beat the frozen PostingList
+    # machinery here.
     index: Dict[Tuple[str, int], List[Tuple[int, float, float]]] = {}
     results: List[Tuple[int, int]] = []
 
@@ -82,15 +89,19 @@ def similarity_join(
     # weighting sets).  With tau_t > 0 they can *only* pair with other
     # zero-weight objects, so one quadratic pass over that (tiny) group
     # keeps the join exact.
-    zero_weight = [obj for obj in objects if token_totals[obj.oid] <= 0.0]
+    zero_weight = [
+        obj for pos, obj in enumerate(objects) if token_totals[pos] <= 0.0
+    ]
     for i, a in enumerate(zero_weight):
         for b in zero_weight[i + 1 :]:
             if spatial_jaccard(a.region, b.region) >= tau_r:
                 if textual_similarity(a.tokens, b.tokens, weighter) >= tau_t:
-                    results.append((a.oid, b.oid))
+                    pair = _ordered_pair(a.oid, b.oid)
+                    if pair is not None:
+                        results.append(pair)
 
-    for obj in objects:
-        if token_totals[obj.oid] <= 0.0:
+    for pos, obj in enumerate(objects):
+        if token_totals[pos] <= 0.0:
             continue
         token_sig = textual.object_signature(obj)
         token_bounds = suffix_bounds([w for _, w in token_sig])
@@ -100,7 +111,7 @@ def similarity_join(
         # Thresholds with this object in the "query" role.  simT(a,b) ≥ τT
         # implies common weight ≥ τT·max(W_a, W_b) ≥ τT·W_obj; similarly
         # the spatial overlap is ≥ τR·|obj.R|.
-        c_t = tau_t * token_totals[obj.oid]
+        c_t = tau_t * token_totals[pos]
         c_r = tau_r * obj.region.area
         token_prefix_len = select_prefix([w for _, w in token_sig], c_t)
         cell_prefix_len = select_prefix([w for _, w in cell_sig], c_r)
@@ -112,26 +123,35 @@ def similarity_join(
                 postings = index.get((token, cell))
                 if not postings:
                     continue
-                for oid, r_bound, t_bound in postings:
-                    if oid in seen or r_bound < c_r or t_bound < c_t:
+                for other_pos, r_bound, t_bound in postings:
+                    if other_pos in seen or r_bound < c_r or t_bound < c_t:
                         continue
-                    seen.add(oid)
-                    other = objects[oid]
+                    seen.add(other_pos)
+                    other = objects[other_pos]
                     if spatial_jaccard(obj.region, other.region) < tau_r:
                         continue
                     if textual_similarity(obj.tokens, other.tokens, weighter) < tau_t:
                         continue
-                    results.append((oid, obj.oid))
+                    pair = _ordered_pair(other.oid, obj.oid)
+                    if pair is not None:
+                        results.append(pair)
 
         # Index phase: publish this object's prefix postings.  Indexing
         # prefixes only is sound — if the pair qualifies, each side's
         # prefix contains the first common element of the other's.
         for (token, _), t_bound in list(zip(token_sig, token_bounds))[:token_prefix_len]:
             for (cell, _), r_bound in list(zip(cell_sig, cell_bounds))[:cell_prefix_len]:
-                index.setdefault((token, cell), []).append((obj.oid, r_bound, t_bound))
+                index.setdefault((token, cell), []).append((pos, r_bound, t_bound))
 
     results.sort()
     return results
+
+
+def _ordered_pair(a: int, b: int) -> Tuple[int, int] | None:
+    """The join pair ``(min, max)`` — None for equal oids (outside J)."""
+    if a == b:
+        return None
+    return (a, b) if a < b else (b, a)
 
 
 def brute_force_join(
@@ -140,7 +160,11 @@ def brute_force_join(
     tau_t: float,
     weighter: TokenWeighter | None = None,
 ) -> List[Tuple[int, int]]:
-    """O(n²) reference join (the correctness oracle for tests)."""
+    """O(n²) reference join (the correctness oracle for tests).
+
+    Oid-agnostic like :func:`similarity_join`: pairs come back sorted as
+    ``(min(oid), max(oid))`` whatever the input order.
+    """
     if weighter is None and objects:
         weighter = TokenWeighter(obj.tokens for obj in objects)
     out: List[Tuple[int, int]] = []
@@ -150,5 +174,8 @@ def brute_force_join(
                 continue
             if textual_similarity(a.tokens, b.tokens, weighter) < tau_t:
                 continue
-            out.append((a.oid, b.oid))
+            pair = _ordered_pair(a.oid, b.oid)
+            if pair is not None:
+                out.append(pair)
+    out.sort()
     return out

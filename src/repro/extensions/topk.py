@@ -22,7 +22,7 @@ top-k.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.core.errors import InvalidQueryError
 from repro.core.method import SearchMethod
@@ -56,7 +56,7 @@ def top_k_search(
     k: int,
     *,
     beta: float = 0.5,
-    schedule: Sequence[float] = (0.5, 0.25, 0.1, 0.05, 0.02, 0.0),
+    schedule: Iterable[float] = (0.5, 0.25, 0.1, 0.05, 0.02, 0.0),
 ) -> TopKResult:
     """The exact top-k most similar objects under a convex score.
 
@@ -66,8 +66,12 @@ def top_k_search(
         tokens: Query token set.
         k: Number of results (``k >= 1``).
         beta: Spatial weight β in ``β·simR + (1−β)·simT``.
-        schedule: Descending thresholds to try; must end at 0.0 so the
-            final level is exhaustive and the result provably exact.
+        schedule: Thresholds to try, any iterable of floats.  Must be
+            *strictly* descending within [0, 1] and end at exactly 0.0,
+            so every level does new filtering work and the final level
+            is exhaustive (the result provably exact).  A duplicated
+            level would silently re-run the full underlying search and
+            return nothing new, so it is rejected rather than tolerated.
 
     Raises:
         InvalidQueryError: On bad ``k``/``beta``/schedule.
@@ -76,8 +80,22 @@ def top_k_search(
         raise InvalidQueryError(f"k must be >= 1, got {k}")
     if not (0.0 <= beta <= 1.0):
         raise InvalidQueryError(f"beta must be in [0, 1], got {beta}")
-    if not schedule or schedule[-1] != 0.0 or list(schedule) != sorted(schedule, reverse=True):
-        raise InvalidQueryError("schedule must descend and end at 0.0")
+    # Materialise first: the schedule may be any iterable (generator,
+    # NumPy array, ...), and validation needs to index and re-read it.
+    schedule = [float(tau) for tau in schedule]
+    if not schedule or schedule[-1] != 0.0:
+        raise InvalidQueryError(
+            "schedule must be non-empty and end at 0.0 (the exhaustive level)"
+        )
+    if any(hi <= lo for hi, lo in zip(schedule, schedule[1:])):
+        raise InvalidQueryError(
+            "schedule must be strictly descending (duplicate levels re-run "
+            "the full search and can return nothing new)"
+        )
+    if schedule[0] > 1.0:
+        raise InvalidQueryError(
+            f"schedule levels must lie in [0, 1], got {schedule[0]}"
+        )
 
     token_set = frozenset(tokens)
     weighter = method.weighter

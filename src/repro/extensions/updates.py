@@ -1,48 +1,56 @@
-"""Incremental updates: a main + delta index pair (LSM-lite).
+"""Incremental updates: the rebuild-the-world shim (deprecated).
 
-SEAL's signatures are corpus-dependent (idf weights, ``count(g)`` cell
-order, HSS partitions), so the static indexes do not take inserts.  The
-standard systems answer is a small write-optimised side structure:
+The first-generation updatable engine kept a main static index plus an
+unindexed delta pool and rebuilt *everything* once the pool outgrew
+``rebuild_threshold`` — O(n) work per rebuild, no deletes, no empty
+bootstrap.  It has been superseded by the segmented LSM-style engine
+(:class:`repro.exec.segments.SegmentedSealSearch`: write buffer,
+immutable segments, tombstones, size-tiered merges, amortised O(log n)
+rebuilds per object).
 
-* inserts land in an unindexed *delta* pool, scanned exactly at query
-  time (the pool is small, so this is cheap);
-* when the pool outgrows ``rebuild_threshold`` (a fraction of the main
-  corpus), the engine merges pool into corpus and rebuilds the static
-  index — amortised O(build / threshold) per insert;
-* searches merge main-index answers with delta-pool answers.
+:class:`UpdatableSealSearch` survives as a thin deprecation shim over
+that engine with the old semantics preserved exactly: auto-sealing is
+disabled (``buffer_capacity=None``), so the "main index" is always a
+single segment, the "delta pool" is the write buffer, and crossing the
+threshold triggers a full compaction — which is precisely the old
+merge-and-rebuild, idf convergence included.  New code should construct
+``SegmentedSealSearch`` directly.
 
-Semantics note: between rebuilds, idf weights are those of the *main*
-corpus (new tokens get max idf).  Similarities therefore drift slightly
-from a from-scratch build until the next merge — the same trade every
-deferred-maintenance text index makes — and converge exactly at rebuild.
+Semantics note (unchanged): between rebuilds, idf weights are those of
+the main corpus (new tokens get max idf).  Similarities therefore drift
+slightly from a from-scratch build until the next merge and converge
+exactly at rebuild.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+import warnings
+from typing import Iterable
 
-from repro.baselines.naive import NaiveSearch
-from repro.core.engine import build_method
 from repro.core.method import SearchMethod
-from repro.core.objects import Query, SpatioTextualObject
+from repro.core.objects import SpatioTextualObject
 from repro.core.stats import SearchResult
-from repro.exec.pipeline import execute_query
+from repro.exec.segments import SegmentedSealSearch
 from repro.geometry import Rect
 from repro.text.weights import TokenWeighter
 
 
 class UpdatableSealSearch:
-    """A SEAL engine that accepts inserts.
+    """A SEAL engine that accepts inserts (deprecated shim).
 
     Args:
-        data: Initial ``(region, tokens)`` pairs.
+        data: Initial ``(region, tokens)`` pairs; may be empty — the
+            first insert then builds the engine.
         method: Underlying static method name (default ``"seal"``).
         rebuild_threshold: Rebuild when the delta pool exceeds this
             fraction of the main corpus (default 10%).
         **params: Passed to the method constructor.
 
     Examples:
-        >>> engine = UpdatableSealSearch([(Rect(0, 0, 1, 1), {"tea"})])
+        >>> import warnings
+        >>> with warnings.catch_warnings():
+        ...     warnings.simplefilter("ignore", DeprecationWarning)
+        ...     engine = UpdatableSealSearch([(Rect(0, 0, 1, 1), {"tea"})])
         >>> oid = engine.insert(Rect(2, 2, 3, 3), {"coffee"})
         >>> len(engine)
         2
@@ -56,29 +64,19 @@ class UpdatableSealSearch:
         rebuild_threshold: float = 0.1,
         **params,
     ) -> None:
+        warnings.warn(
+            "UpdatableSealSearch is a rebuild-the-world shim; use "
+            "repro.exec.segments.SegmentedSealSearch for amortised updates "
+            "with deletes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if rebuild_threshold <= 0.0:
             raise ValueError("rebuild_threshold must be positive")
-        self._method_name = method
-        self._params = params
         self.rebuild_threshold = rebuild_threshold
-        self._objects: List[SpatioTextualObject] = [
-            SpatioTextualObject(oid, region, frozenset(tokens))
-            for oid, (region, tokens) in enumerate(data)
-        ]
-        if not self._objects:
-            raise ValueError("UpdatableSealSearch requires at least one initial object")
-        self._delta: List[SpatioTextualObject] = []
-        self.rebuilds = 0
-        self._build()
-
-    def _build(self) -> None:
-        self.weighter = TokenWeighter(obj.tokens for obj in self._objects)
-        self.main: SearchMethod = build_method(
-            self._objects, self._method_name, self.weighter, **self._params
+        self._engine = SegmentedSealSearch(
+            data, method, buffer_capacity=None, **params
         )
-        # Delta search reuses main-corpus idf weights (see module
-        # docstring); the scan method is rebuilt whenever the pool changes.
-        self._delta_method: NaiveSearch | None = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -86,67 +84,53 @@ class UpdatableSealSearch:
 
     def insert(self, region: Rect, tokens: Iterable[str]) -> int:
         """Add one object; returns its oid (stable across the rebuild)."""
-        oid = len(self._objects) + len(self._delta)
-        self._delta.append(SpatioTextualObject(oid, region, frozenset(tokens)))
-        self._delta_method = None
-        if len(self._delta) > self.rebuild_threshold * len(self._objects):
-            self._merge()
+        oid = self._engine.insert(region, tokens)
+        indexed = len(self._engine) - self._engine.pending
+        if self._engine.pending > self.rebuild_threshold * indexed:
+            self._engine.compact()
         return oid
-
-    def _merge(self) -> None:
-        self._objects.extend(self._delta)
-        self._delta.clear()
-        self.rebuilds += 1
-        self._build()
 
     def flush(self) -> None:
         """Force the pending delta pool into the static index."""
-        if self._delta:
-            self._merge()
+        if self._engine.pending:
+            self._engine.compact()
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
 
-    def search(self, region: Rect, tokens: Iterable[str], tau_r: float, tau_t: float) -> SearchResult:
-        """Merged main + delta search; answers sorted by oid.
+    def search(
+        self, region: Rect, tokens: Iterable[str], tau_r: float, tau_t: float
+    ) -> SearchResult:
+        """Merged main + delta search; answers sorted by oid."""
+        return self._engine.search(region, tokens, tau_r, tau_t)
 
-        Composes two pipeline runs — the static index and an exhaustive
-        scan of the delta pool — and merges them into a *fresh* stats
-        object, so callers holding the main result's stats never see them
-        mutate and workload aggregation stays correct.
-        """
-        query = Query(region=region, tokens=frozenset(tokens), tau_r=tau_r, tau_t=tau_t)
-        main_result = self.main.search(query)
-        if not self._delta:
-            stats = main_result.stats.copy()
-            stats.results = len(main_result.answers)
-            return SearchResult(answers=list(main_result.answers), stats=stats)
-        if self._delta_method is None:
-            # The pool scan addresses pool objects by position.
-            reindexed = [
-                SpatioTextualObject(i, obj.region, obj.tokens)
-                for i, obj in enumerate(self._delta)
-            ]
-            self._delta_method = NaiveSearch(reindexed, self.weighter)
-        delta_result = execute_query(self._delta_method, query)
-        answers = sorted(
-            main_result.answers + [self._delta[i].oid for i in delta_result.answers]
-        )
-        stats = main_result.stats.copy()
-        stats.merge(delta_result.stats)
-        stats.results = len(answers)
-        return SearchResult(answers=answers, stats=stats)
+    # ------------------------------------------------------------------
+    # Introspection (old surface, delegated)
+    # ------------------------------------------------------------------
 
-    def object(self, oid: int) -> SpatioTextualObject:
-        if oid < len(self._objects):
-            return self._objects[oid]
-        return self._delta[oid - len(self._objects)]
+    @property
+    def weighter(self) -> TokenWeighter:
+        return self._engine.weighter
 
-    def __len__(self) -> int:
-        return len(self._objects) + len(self._delta)
+    @property
+    def main(self) -> SearchMethod | None:
+        """The static index method (None until the first build)."""
+        methods = self._engine.segment_methods()
+        return methods[0] if methods else None
+
+    @property
+    def rebuilds(self) -> int:
+        """Full rebuilds performed so far."""
+        return self._engine.compactions
 
     @property
     def pending(self) -> int:
         """Objects currently in the delta pool."""
-        return len(self._delta)
+        return self._engine.pending
+
+    def object(self, oid: int) -> SpatioTextualObject:
+        return self._engine.object(oid)
+
+    def __len__(self) -> int:
+        return len(self._engine)

@@ -7,12 +7,13 @@ to query-serving processes.
 """
 
 from repro.io.corpus_io import load_corpus, load_queries, save_corpus, save_queries
-from repro.io.snapshot import load_engine, save_engine
+from repro.io.snapshot import load_engine, read_manifest, save_engine
 
 __all__ = [
     "load_corpus",
     "load_engine",
     "load_queries",
+    "read_manifest",
     "save_corpus",
     "save_engine",
     "save_queries",

@@ -18,6 +18,18 @@ and a sharded engine's load cost stops being pickle-bound.  Engines
 with no columnar store (pure-python backends, baselines) write no
 sidecar and behave exactly as before.
 
+**Format 4** adds the update subsystem: a snapshot of a segmented
+engine (:class:`~repro.exec.segments.SegmentedSealSearch`) carries a
+*manifest* block in the envelope — per-segment object/live counts and
+size tiers, buffer and tombstone accounting — readable via
+:func:`read_manifest` without deserialising the engine blob.  Each
+segment's columnar store externalises its own CSR arrays to the shared
+sidecar exactly as format 3 did for a single index, so segments +
+tombstones round-trip and ``load_engine(mmap=True)`` memory-maps every
+segment's posting payload in place.  Engines without a manifest (plain
+methods, sharded engines) store ``manifest: None`` and behave exactly
+as before.
+
 Snapshot + sidecar travel as a pair: move or rename them together.
 
 For untrusted interchange use the JSONL corpus format and rebuild.
@@ -45,7 +57,10 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
 #: 3: columnar index storage — CSR arrays externalised to an ``.npz``
 #:    sidecar (mmap-able), engine pickled as a nested blob so the
 #:    envelope is checked before any engine bytes deserialise.
-SNAPSHOT_FORMAT = 3
+#: 4: segmented updatable engines — a snapshot manifest block (segment /
+#:    tombstone accounting) in the envelope; formats 1–3 predate the
+#:    update subsystem and are rejected.
+SNAPSHOT_FORMAT = 4
 
 _MAGIC = "repro-seal-snapshot"
 
@@ -73,10 +88,15 @@ def save_engine(engine: Any, path: str | Path) -> None:
     arrays: List[Any] = []
     with externalize_arrays(arrays):
         blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+    manifest_fn = getattr(engine, "snapshot_manifest", None)
     envelope = {
         "magic": _MAGIC,
         "format": SNAPSHOT_FORMAT,
         "library_version": __version__,
+        # Engines that publish one (segmented engines) get their
+        # segment/tombstone accounting into the envelope, readable via
+        # read_manifest without touching the engine blob.
+        "manifest": manifest_fn() if callable(manifest_fn) else None,
         "num_arrays": len(arrays),
         # Per-array (dtype, shape) fingerprints: loads check the sidecar
         # against these, so a snapshot paired with a stale sidecar (e.g.
@@ -129,20 +149,7 @@ def load_engine(path: str | Path, *, mmap: bool = False) -> Any:
             missing/truncated sidecar.
     """
     path = Path(path)
-    if not path.exists():
-        raise SnapshotError(f"snapshot not found: {path}")
-    try:
-        with path.open("rb") as handle:
-            envelope = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
-        raise SnapshotError(f"corrupt or incompatible snapshot {path}: {exc}") from exc
-    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
-        raise SnapshotError(f"{path} is not a repro engine snapshot")
-    if envelope.get("format") != SNAPSHOT_FORMAT:
-        raise SnapshotError(
-            f"{path} uses snapshot format {envelope.get('format')}, "
-            f"this library reads format {SNAPSHOT_FORMAT}; rebuild the index"
-        )
+    envelope = _read_envelope(path)
     num_arrays = envelope.get("num_arrays", 0)
     arrays: List[Any] = []
     if num_arrays:
@@ -175,6 +182,36 @@ def load_engine(path: str | Path, *, mmap: bool = False) -> Any:
     except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, KeyError,
             IndexError, RuntimeError) as exc:
         raise SnapshotError(f"corrupt or incompatible snapshot {path}: {exc}") from exc
+
+
+def read_manifest(path: str | Path) -> Any:
+    """The snapshot's manifest block, without loading the engine.
+
+    Segmented engines store their segment/tombstone accounting here;
+    plain methods and sharded engines store ``None``.  Validates the
+    envelope (magic + format) exactly like :func:`load_engine` but never
+    touches the engine blob or the sidecar.
+    """
+    return _read_envelope(Path(path)).get("manifest")
+
+
+def _read_envelope(path: Path) -> dict:
+    """Read and validate a snapshot envelope (magic + format checks)."""
+    if not path.exists():
+        raise SnapshotError(f"snapshot not found: {path}")
+    try:
+        with path.open("rb") as handle:
+            envelope = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        raise SnapshotError(f"corrupt or incompatible snapshot {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise SnapshotError(f"{path} is not a repro engine snapshot")
+    if envelope.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} uses snapshot format {envelope.get('format')}, "
+            f"this library reads format {SNAPSHOT_FORMAT}; rebuild the index"
+        )
+    return envelope
 
 
 # ----------------------------------------------------------------------

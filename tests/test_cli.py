@@ -185,6 +185,95 @@ class TestBuildAndQuery:
         assert "batch: 1 queries" in out
 
 
+class TestSegmentedCommands:
+    @pytest.fixture()
+    def segmented_engine(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "live.pkl"
+        rc = main(["build", str(corpus_file), "--method", "token", "--segmented",
+                   "--buffer-capacity", "4", "--out", str(engine)])
+        assert rc == 0
+        assert "token segmented" in capsys.readouterr().out
+        return engine
+
+    def test_update_single_object(self, segmented_engine, capsys):
+        rc = main(["update", str(segmented_engine), "--region", "35,10,75,70",
+                   "--tokens", "t1,t2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inserted 1 objects (oid 7)" in out
+        assert "8 live objects" in out
+        # The inserted object answers queries straight from the snapshot.
+        rc = main(["query", str(segmented_engine), "--region", "35,10,75,70",
+                   "--tokens", "t1,t2", "--tau-r", "0.9", "--tau-t", "0.0"])
+        assert rc == 0
+        assert "[7]" in capsys.readouterr().out
+
+    def test_update_from_corpus_file(self, segmented_engine, corpus_file, capsys):
+        rc = main(["update", str(segmented_engine), "--from", str(corpus_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inserted 7 objects (oids 7..13)" in out
+        assert "14 live objects" in out
+
+    def test_update_requires_input(self, segmented_engine, capsys):
+        rc = main(["update", str(segmented_engine)])
+        assert rc == 2
+        assert "provide --region/--tokens and/or --from" in capsys.readouterr().err
+
+    def test_update_from_empty_corpus_is_noop_success(self, segmented_engine,
+                                                      tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["update", str(segmented_engine), "--from", str(empty)])
+        assert rc == 0
+        assert "inserted 0 objects" in capsys.readouterr().out
+
+    def test_update_bad_region_is_friendly(self, segmented_engine, capsys):
+        rc = main(["update", str(segmented_engine), "--region", "1,2,x,4",
+                   "--tokens", "a"])
+        assert rc == 2
+        assert "--region needs x1,y1,x2,y2" in capsys.readouterr().err
+
+    def test_segmented_knobs_require_segmented(self, corpus_file, tmp_path, capsys):
+        rc = main(["build", str(corpus_file), "--method", "token",
+                   "--buffer-capacity", "64", "--out", str(tmp_path / "x.pkl")])
+        assert rc == 2
+        assert "require --segmented" in capsys.readouterr().err
+
+    def test_delete_and_compact(self, segmented_engine, capsys):
+        rc = main(["delete", str(segmented_engine), "--oids", "1,99"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 objects (not live: [99])" in out
+        rc = main(["query", str(segmented_engine), "--region", "35,10,75,70",
+                   "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3"])
+        assert rc == 0
+        assert "0 answers" in capsys.readouterr().out  # object 1 was the answer
+        rc = main(["compact", str(segmented_engine)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "0 tombstones" in out
+
+    def test_update_rejects_non_segmented_snapshot(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "static.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        capsys.readouterr()
+        for argv in (
+            ["update", str(engine), "--region", "0,0,1,1", "--tokens", "a"],
+            ["delete", str(engine), "--oids", "1"],
+            ["compact", str(engine)],
+        ):
+            rc = main(argv)
+            assert rc == 2
+            assert "does not hold a segmented engine" in capsys.readouterr().err
+
+    def test_segmented_and_shards_conflict(self, corpus_file, tmp_path, capsys):
+        rc = main(["build", str(corpus_file), "--method", "token", "--segmented",
+                   "--shards", "2", "--out", str(tmp_path / "x.pkl")])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_sweep_prints_table(self, tmp_path, capsys):
         corpus = tmp_path / "c.jsonl"

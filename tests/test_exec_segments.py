@@ -1,0 +1,292 @@
+"""Tests for the segmented (LSM-style) updatable engine.
+
+The load-bearing invariant: at *any* point of an interleaved
+insert/delete/search/compact workload, answers equal a from-scratch
+``build_method`` oracle over the live object set built with the engine's
+current weighter — and immediately after ``compact()`` that weighter is
+exactly the from-scratch weighter, so the engine converges to a clean
+build.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    BatchExecutor,
+    Query,
+    Rect,
+    SegmentedSealSearch,
+    SpatioTextualObject,
+    build_method,
+    execute_query,
+)
+from repro.text.weights import TokenWeighter
+
+VOCAB = [f"tok{i}" for i in range(14)]
+
+
+def _rand_object(rng: random.Random):
+    x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+    w, h = rng.uniform(1, 12), rng.uniform(1, 12)
+    tokens = frozenset(rng.sample(VOCAB, rng.randint(1, 4)))
+    return Rect(x, y, x + w, y + h), tokens
+
+
+def _rand_query(rng: random.Random) -> Query:
+    region, tokens = _rand_object(rng)
+    tau = rng.choice([0.05, 0.2, 0.4])
+    return Query(region, tokens, tau, tau)
+
+
+def _oracle_answers(engine: SegmentedSealSearch, query: Query, method: str, **params):
+    """From-scratch build over the live set, answers mapped to global oids."""
+    live = sorted((engine.object(oid) for oid in engine._live), key=lambda o: o.oid)
+    if not live:
+        return []
+    local = [SpatioTextualObject(i, o.region, o.tokens) for i, o in enumerate(live)]
+    oracle = build_method(local, method, engine.weighter, **params)
+    result = execute_query(oracle, query)
+    return sorted(live[i].oid for i in result.answers)
+
+
+class TestLifecycle:
+    def test_empty_bootstrap(self):
+        engine = SegmentedSealSearch(method="token")
+        assert len(engine) == 0 and engine.num_segments == 0
+        assert engine.search(Rect(0, 0, 5, 5), {"a"}, 0.0, 0.0).answers == []
+        oid = engine.insert(Rect(0, 0, 5, 5), {"a"})
+        assert engine.search(Rect(0, 0, 5, 5), {"a"}, 0.3, 0.3).answers == [oid]
+
+    def test_initial_data_seals_one_segment(self):
+        engine = SegmentedSealSearch(
+            [(Rect(i, 0, i + 1, 1), {"a"}) for i in range(10)], method="token"
+        )
+        assert engine.num_segments == 1
+        assert engine.pending == 0
+        assert len(engine) == 10
+
+    def test_insert_visible_immediately_and_oids_monotonic(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=4)
+        oids = [engine.insert(Rect(i, 0, i + 1, 1), {"a", f"t{i}"}) for i in range(11)]
+        assert oids == list(range(11))
+        assert engine.num_segments >= 2  # capacity 4 → sealed at least twice
+        assert engine.pending == 3
+        for oid in oids:
+            assert engine.object(oid).oid == oid
+        # tau_t 0.0: "a" is corpus-wide (idf 0), so only spatial filters.
+        result = engine.search(Rect(0, 0, 12, 1), {"a"}, 0.01, 0.0)
+        assert result.answers == oids
+
+    def test_delete_buffered_and_sealed(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=4)
+        oids = [engine.insert(Rect(i, 0, i + 1, 1), {"a"}) for i in range(6)]
+        # oid 5 is still buffered, oid 0 is sealed.
+        assert engine.delete(5) and engine.delete(0)
+        assert engine.tombstones == 1  # only the sealed one needs a tombstone
+        assert len(engine) == 4
+        assert not engine.delete(0)  # already dead
+        assert not engine.delete(99)  # never existed
+        result = engine.search(Rect(0, 0, 7, 1), {"a"}, 0.01, 0.01)
+        assert result.answers == [1, 2, 3, 4]
+        with pytest.raises(KeyError):
+            engine.object(0)
+
+    def test_oids_never_reused_after_delete(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=2)
+        a = engine.insert(Rect(0, 0, 1, 1), {"x"})
+        engine.delete(a)
+        b = engine.insert(Rect(0, 0, 1, 1), {"x"})
+        assert b == a + 1
+
+    def test_size_tiered_merges_bound_segment_count(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=2, merge_fanout=2)
+        for i in range(64):
+            engine.insert(Rect(i, 0, i + 1, 1), {"a", f"t{i % 7}"})
+        # 32 seals collapse into O(log) segments under fanout-2 merges.
+        assert engine.num_segments <= 6
+        assert engine.search(Rect(0, 0, 65, 1), {"a"}, 0.01, 0.0).answers == list(range(64))
+
+    def test_merge_drops_tombstones_physically(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=2, merge_fanout=2)
+        oids = [engine.insert(Rect(i, 0, i + 1, 1), {"a"}) for i in range(8)]
+        for oid in oids[::2]:
+            engine.delete(oid)
+        engine.compact()
+        assert engine.tombstones == 0
+        assert engine.num_segments == 1
+        assert sum(engine.segment_sizes()) == 4
+
+    def test_compact_noop_when_converged(self):
+        engine = SegmentedSealSearch(
+            [(Rect(0, 0, 1, 1), {"a"})], method="token"
+        )
+        assert engine.compactions == 0
+        engine.compact()  # fresh from construction: nothing to do
+        assert engine.compactions == 0
+        engine.insert(Rect(1, 0, 2, 1), {"b"})
+        engine.compact()
+        assert engine.compactions == 1
+
+    def test_compact_to_empty(self):
+        engine = SegmentedSealSearch([(Rect(0, 0, 1, 1), {"a"})], method="token")
+        engine.delete(0)
+        engine.compact()
+        assert len(engine) == 0 and engine.num_segments == 0
+        assert engine.search(Rect(0, 0, 2, 2), {"a"}, 0.0, 0.0).answers == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentedSealSearch(buffer_capacity=0)
+        with pytest.raises(ValueError):
+            SegmentedSealSearch(merge_fanout=1)
+
+
+class TestWeighterSemantics:
+    def test_weights_converge_at_compaction(self):
+        engine = SegmentedSealSearch(
+            [(Rect(i, 0, i + 1, 1), {"a", f"t{i}"}) for i in range(6)], method="token"
+        )
+        engine.insert(Rect(9, 0, 10, 1), {"brandnew"})
+        # Drift phase: the new token is unknown to the engine weighter.
+        assert "brandnew" not in engine.weighter
+        engine.compact()
+        live_tokens = [engine.object(oid).tokens for oid in sorted(engine._live)]
+        assert engine.weighter._weights == TokenWeighter(live_tokens)._weights
+
+    def test_bootstrap_phase_has_no_drift(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=100)
+        engine.insert(Rect(0, 0, 1, 1), {"x", "y"})
+        engine.insert(Rect(1, 0, 2, 1), {"y"})
+        assert engine.num_segments == 0  # still all in the buffer
+        expected = TokenWeighter([{"x", "y"}, {"y"}])
+        assert engine.weighter._weights == expected._weights
+
+    def test_bootstrap_weighter_rebuilt_lazily(self):
+        """An unsealed insert burst marks the weighter dirty instead of
+        rebuilding it per insert — O(1) bookkeeping per write."""
+        engine = SegmentedSealSearch(method="token", buffer_capacity=None)
+        before = engine.weighter
+        for i in range(50):
+            engine.insert(Rect(i, 0, i + 1, 1), {f"t{i}"})
+            assert engine._weighter is before  # untouched mid-burst
+        assert "t49" in engine.weighter  # observation triggers the rebuild
+        assert engine._weighter is not before
+
+
+class TestStats:
+    def test_merged_stats_are_sane(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=3)
+        for i in range(8):
+            engine.insert(Rect(i, 0, i + 1, 1), {"a"})
+        result = engine.search(Rect(0, 0, 9, 1), {"a"}, 0.01, 0.01)
+        assert result.stats.results == len(result.answers)
+        # Buffer objects are exact-scanned: they all count as candidates.
+        assert result.stats.candidates >= engine.pending
+        assert result.stats.candidates >= result.stats.results
+
+    def test_stats_do_not_alias_across_searches(self):
+        engine = SegmentedSealSearch(
+            [(Rect(0, 0, 5, 5), {"a"})], method="token"
+        )
+        first = engine.search(Rect(0, 0, 5, 5), {"a"}, 0.2, 0.2)
+        snapshot = first.stats.copy()
+        engine.search(Rect(0, 0, 5, 5), {"a"}, 0.2, 0.2)
+        assert first.stats.candidates == snapshot.candidates
+        assert first.stats.results == snapshot.results
+
+
+class TestChurnOracle:
+    """Randomized interleaved workloads pinned answer-identical to a
+    from-scratch oracle — the acceptance criterion of the refactor."""
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_churn_matches_fresh_build(self, backend, seed):
+        rng = random.Random(seed)
+        engine = SegmentedSealSearch(
+            method="token", buffer_capacity=4, merge_fanout=2, backend=backend
+        )
+        live_oids: list[int] = []
+        checked = 0
+        for _ in range(150):
+            op = rng.random()
+            if op < 0.45 or not live_oids:
+                live_oids.append(engine.insert(*_rand_object(rng)))
+            elif op < 0.60:
+                victim = live_oids.pop(rng.randrange(len(live_oids)))
+                assert engine.delete(victim)
+            elif op < 0.90:
+                query = _rand_query(rng)
+                got = engine.search_query(query)
+                assert got.answers == _oracle_answers(
+                    engine, query, "token", backend=backend
+                )
+                assert got.stats.results == len(got.answers)
+                checked += 1
+            elif op < 0.95:
+                engine.flush()
+            else:
+                engine.compact()
+        assert checked > 20
+        assert len(engine) == len(live_oids)
+
+    def test_churn_matches_oracle_on_seal_method(self):
+        """The paper's own method (hierarchical signatures) through the
+        same churn harness — corpus-dependent partitions and all."""
+        rng = random.Random(5)
+        engine = SegmentedSealSearch(
+            method="seal", buffer_capacity=8, merge_fanout=2,
+            mt=4, max_level=4, min_objects=2,
+        )
+        live_oids: list[int] = []
+        for step in range(60):
+            op = rng.random()
+            if op < 0.5 or not live_oids:
+                live_oids.append(engine.insert(*_rand_object(rng)))
+            elif op < 0.62:
+                victim = live_oids.pop(rng.randrange(len(live_oids)))
+                assert engine.delete(victim)
+            else:
+                query = _rand_query(rng)
+                assert engine.search_query(query).answers == _oracle_answers(
+                    engine, query, "seal", mt=4, max_level=4, min_objects=2
+                )
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    def test_churn_through_batch_executor(self, backend):
+        """BatchExecutor over a churned segmented engine must be
+        answer-identical to per-query search (the segmented-engine path
+        through the executor's fan-out delegation)."""
+        rng = random.Random(23)
+        engine = SegmentedSealSearch(
+            method="token", buffer_capacity=4, merge_fanout=2, backend=backend
+        )
+        live = []
+        for _ in range(40):
+            live.append(engine.insert(*_rand_object(rng)))
+            if rng.random() < 0.2 and live:
+                engine.delete(live.pop(rng.randrange(len(live))))
+        queries = [_rand_query(rng) for _ in range(12)]
+        batch = BatchExecutor().run(engine, queries)
+        assert batch.answers() == [engine.search_query(q).answers for q in queries]
+        assert batch.stats.queries == len(queries)
+        # And via the facade, which shares the same path.
+        assert engine.search_batch(queries).answers() == batch.answers()
+
+
+class TestManifest:
+    def test_manifest_accounting(self):
+        engine = SegmentedSealSearch(method="token", buffer_capacity=2, merge_fanout=4)
+        for i in range(7):
+            engine.insert(Rect(i, 0, i + 1, 1), {"a"})
+        engine.delete(0)
+        manifest = engine.snapshot_manifest()
+        assert manifest["kind"] == "segmented"
+        assert manifest["live"] == 6
+        assert manifest["buffer"] == 1
+        assert manifest["tombstones"] == 1
+        assert sum(seg["objects"] for seg in manifest["segments"]) == 6
+        assert sum(seg["live"] for seg in manifest["segments"]) == 5

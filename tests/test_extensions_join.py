@@ -72,6 +72,42 @@ class TestSimilarityJoin:
         expected = brute_force_join(twitter_small, 0.2, 0.2, twitter_small_weighter)
         assert got == expected
 
+    def test_sparse_and_permuted_oids(self, village):
+        """The satellite fix: the join used to index ``objects`` by oid
+        (``objects[oid]``), so sparse or permuted oids silently paired
+        the wrong records.  It is oid-agnostic now and must match the
+        brute-force oracle on the same remapped corpus."""
+        from repro import SpatioTextualObject
+
+        sparse = [
+            SpatioTextualObject(oid, obj.region, obj.tokens)
+            # Sparse (gaps) *and* permuted (descending) oids at once.
+            for oid, obj in zip((90, 41, 17, 8, 3), village)
+        ]
+        got = similarity_join(sparse, 0.3, 0.3, granularity=8)
+        expected = brute_force_join(sparse, 0.3, 0.3)
+        assert got == expected
+        # Same pairs as the dense corpus, modulo the oid relabelling.
+        relabel = {obj.oid: new.oid for obj, new in zip(village, sparse)}
+        dense = similarity_join(village, 0.3, 0.3, granularity=8)
+        assert got == sorted(
+            tuple(sorted((relabel[a], relabel[b]))) for a, b in dense
+        )
+        for a, b in got:
+            assert a < b
+
+    def test_sparse_oids_zero_weight_pass(self):
+        """The zero-weight quadratic pass also indexed totals by oid."""
+        from repro import SpatioTextualObject
+
+        objs = [
+            SpatioTextualObject(70, Rect(0, 0, 4, 4), frozenset({"common"})),
+            SpatioTextualObject(5, Rect(0, 0, 4, 4), frozenset({"common"})),
+            SpatioTextualObject(33, Rect(50, 50, 60, 60), frozenset({"common"})),
+        ]
+        got = similarity_join(objs, 0.5, 0.5, granularity=4)
+        assert got == [(5, 70)] == brute_force_join(objs, 0.5, 0.5)
+
     def test_join_symmetric_in_data_order(self, village):
         """Same pairs regardless of input order (oids are preserved)."""
         reversed_pairs = [(obj.region, obj.tokens) for obj in reversed(village)]

@@ -80,3 +80,54 @@ class TestTopK:
             top_k_search(seal, region, {"a"}, 1, schedule=(0.5, 0.1))
         with pytest.raises(InvalidQueryError):
             top_k_search(seal, region, {"a"}, 1, schedule=(0.1, 0.5, 0.0))
+        with pytest.raises(InvalidQueryError):
+            top_k_search(seal, region, {"a"}, 1, schedule=())
+        with pytest.raises(InvalidQueryError):
+            top_k_search(seal, region, {"a"}, 1, schedule=(1.5, 0.5, 0.0))
+
+
+class TestScheduleValidation:
+    """The satellite fix: strict descent, materialisation, exact levels."""
+
+    def test_duplicate_levels_rejected(self, seal):
+        """Non-strict descent silently re-ran the full underlying search
+        once per duplicate level; now it is a loud error."""
+        with pytest.raises(InvalidQueryError, match="strictly descending"):
+            top_k_search(seal, Rect(0, 0, 1, 1), {"a"}, 1, schedule=(0.5, 0.5, 0.0))
+        with pytest.raises(InvalidQueryError, match="strictly descending"):
+            top_k_search(
+                seal, Rect(0, 0, 1, 1), {"a"}, 1, schedule=(0.5, 0.2, 0.2, 0.0)
+            )
+
+    def test_generator_schedule_materialised(self, seal, twitter_small):
+        """Any iterable works — the old code indexed the raw argument and
+        crashed on generators with a TypeError instead of validating."""
+        anchor = twitter_small[17]
+        from_tuple = top_k_search(seal, anchor.region, anchor.tokens, 3,
+                                  schedule=(0.5, 0.1, 0.0))
+        from_generator = top_k_search(seal, anchor.region, anchor.tokens, 3,
+                                      schedule=(tau for tau in (0.5, 0.1, 0.0)))
+        assert from_generator.ranking == from_tuple.ranking
+        assert from_generator.levels_searched == (0.5, 0.1, 0.0)[
+            : len(from_generator.levels_searched)
+        ]
+
+    def test_levels_searched_stops_at_provable_bound(self, seal, twitter_small):
+        """A perfect self-match (score 1.0) beats the unseen bound at the
+        first level, so the descent must stop there — one level searched,
+        not one search per schedule entry."""
+        anchor = twitter_small[29]
+        result = top_k_search(seal, anchor.region, anchor.tokens, 1,
+                              schedule=(0.5, 0.25, 0.1, 0.0))
+        assert result.levels_searched == (0.5,)
+        assert result.ranking[0][0] == anchor.oid
+
+    def test_exhaustive_terminal_level_always_searched_when_needed(
+        self, seal, twitter_small
+    ):
+        """k larger than any threshold level can satisfy: the descent
+        walks the whole schedule and ends at the exhaustive level."""
+        anchor = twitter_small[3]
+        result = top_k_search(seal, anchor.region, anchor.tokens,
+                              len(twitter_small) + 1, schedule=(0.5, 0.1, 0.0))
+        assert result.levels_searched == (0.5, 0.1, 0.0)

@@ -1,4 +1,10 @@
-"""Tests for the updatable (main + delta) engine."""
+"""Tests for the updatable (main + delta) engine.
+
+Since the segmented-engine refactor, ``UpdatableSealSearch`` is a thin
+deprecation shim over :class:`repro.exec.segments.SegmentedSealSearch`;
+these tests pin that the old surface and semantics survive unchanged
+(plus the empty bootstrap the old class refused).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,8 @@ import pytest
 
 from repro import Rect
 from repro.extensions.updates import UpdatableSealSearch
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture()
@@ -66,14 +74,48 @@ class TestUpdatableEngine:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            UpdatableSealSearch([])
-        with pytest.raises(ValueError):
             UpdatableSealSearch([(Rect(0, 0, 1, 1), {"a"})], rebuild_threshold=0.0)
+
+    def test_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="SegmentedSealSearch"):
+            UpdatableSealSearch([(Rect(0, 0, 1, 1), {"a"})], method="token")
 
     def test_delta_results_merged_sorted(self, engine):
         engine.insert(Rect(0, 0, 5, 5), {"coffee", "tag0"})
         result = engine.search(Rect(0, 0, 5, 5), {"coffee", "tag0"}, 0.2, 0.2)
         assert result.answers == sorted(result.answers)
+
+
+class TestEmptyBootstrap:
+    """The satellite fix: streaming callers start with no data at all."""
+
+    def test_empty_construction(self):
+        engine = UpdatableSealSearch([], method="token")
+        assert len(engine) == 0
+        assert engine.main is None
+        result = engine.search(Rect(0, 0, 10, 10), {"coffee"}, 0.0, 0.0)
+        assert result.answers == []
+
+    def test_first_insert_builds_the_engine(self):
+        engine = UpdatableSealSearch([], method="token")
+        oid = engine.insert(Rect(0, 0, 5, 5), {"coffee"})
+        assert oid == 0
+        assert engine.main is not None
+        assert engine.pending == 0  # threshold * 0 == 0, so it compacts
+        result = engine.search(Rect(0, 0, 5, 5), {"coffee"}, 0.3, 0.3)
+        assert result.answers == [0]
+
+    def test_empty_engine_grows_like_a_seeded_one(self):
+        grown = UpdatableSealSearch([], method="token", rebuild_threshold=0.5)
+        for i in range(12):
+            grown.insert(Rect(i, 0, i + 2, 2), {"coffee", f"tag{i}"})
+        grown.flush()
+        seeded = UpdatableSealSearch(
+            [(Rect(i, 0, i + 2, 2), {"coffee", f"tag{i}"}) for i in range(12)],
+            method="token",
+        )
+        probe = (Rect(0, 0, 14, 2), {"coffee"}, 0.05, 0.05)
+        assert grown.search(*probe).answers == seeded.search(*probe).answers
 
 
 class TestStatsFreshness:

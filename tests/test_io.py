@@ -156,6 +156,73 @@ class TestSnapshot:
         with pytest.raises(SnapshotError, match="format 2.*rebuild the index"):
             load_engine(path)
 
+    def test_pre_segmented_snapshots_rejected(self, tmp_path):
+        """Format 3 predates the update subsystem (segment manifests,
+        tombstones); format-4 readers must reject it loudly."""
+        import pickle
+
+        from repro.io.snapshot import SNAPSHOT_FORMAT
+
+        assert SNAPSHOT_FORMAT >= 4
+        path = tmp_path / "v3.pkl"
+        path.write_bytes(
+            pickle.dumps({"magic": "repro-seal-snapshot", "format": 3, "engine": None})
+        )
+        with pytest.raises(SnapshotError, match="format 3.*rebuild the index"):
+            load_engine(path)
+
+    def test_format4_segmented_round_trip(self, tmp_path):
+        """Format 4: a segmented engine — segments, write buffer and
+        tombstones — round-trips with identical answers, eagerly and
+        memory-mapped, and keeps accepting updates after the load."""
+        import numpy as np
+
+        from repro import SegmentedSealSearch
+        from repro.io import read_manifest
+        from repro.io.snapshot import sidecar_path
+
+        engine = SegmentedSealSearch(
+            method="seal", buffer_capacity=4, merge_fanout=2,
+            mt=4, max_level=4, backend="columnar",
+        )
+        for i in range(11):
+            engine.insert(Rect(i, 0, i + 2, 2), {"coffee", f"tag{i % 3}"})
+        engine.delete(2)   # sealed → tombstone
+        engine.delete(10)  # buffered → dropped outright
+        probe = Query(Rect(0, 0, 13, 2), frozenset({"coffee"}), 0.05, 0.0)
+        expected = engine.search_query(probe).answers
+        assert expected  # the probe is non-trivial
+
+        path = tmp_path / "segmented.pkl"
+        save_engine(engine, path)
+        assert sidecar_path(path).exists()
+        manifest = read_manifest(path)
+        assert manifest["kind"] == "segmented"
+        assert manifest["tombstones"] == 1
+        assert manifest["live"] == len(engine)
+        for mmap in (False, True):
+            restored = load_engine(path, mmap=mmap)
+            assert restored.search_query(probe).answers == expected
+            assert len(restored) == len(engine)
+            assert restored.tombstones == 1
+            store = restored.segment_methods()[0].index.store
+            assert isinstance(store.oids, np.memmap) == mmap
+        # The restored engine keeps taking writes.
+        restored = load_engine(path)
+        oid = restored.insert(Rect(20, 0, 22, 2), {"coffee"})
+        assert oid == 11
+        restored.compact()
+        assert restored.search_query(probe).answers == expected
+
+    def test_format4_plain_method_manifest_is_none(self, tmp_path, figure1_objects,
+                                                   figure1_weighter):
+        from repro.io import read_manifest
+
+        method = build_method(figure1_objects, "token", figure1_weighter)
+        path = tmp_path / "plain.pkl"
+        save_engine(method, path)
+        assert read_manifest(path) is None
+
     def test_format3_sidecar_round_trip(self, tmp_path, figure1_objects,
                                          figure1_weighter, figure1_query):
         """Columnar engines externalise CSR arrays to an .npz sidecar;

@@ -57,17 +57,30 @@ from repro.exec.segments import SegmentedSealSearch
 from repro.exec.sharded import ShardedSealSearch
 from repro.filters import GridFilter, HierarchicalFilter, HybridFilter, TokenFilter
 from repro.geometry import Rect
+from repro.service import (
+    AdmissionController,
+    AdmissionRejected,
+    DeadlineExceeded,
+    EngineManager,
+    QueryService,
+    ResultCache,
+    ServiceError,
+)
 from repro.text import TokenWeighter, tokenize
 
 __version__ = "1.1.0"
 
 __all__ = [
     "METHOD_REGISTRY",
+    "AdmissionController",
+    "AdmissionRejected",
     "BatchExecutor",
     "BatchResult",
     "BatchStats",
     "ConfigurationError",
     "Corpus",
+    "DeadlineExceeded",
+    "EngineManager",
     "Executor",
     "GridFilter",
     "HierarchicalFilter",
@@ -78,11 +91,14 @@ __all__ = [
     "KeywordFirstSearch",
     "NaiveSearch",
     "Query",
+    "QueryService",
     "Rect",
+    "ResultCache",
     "SealError",
     "SealSearch",
     "SearchResult",
     "SearchStats",
+    "ServiceError",
     "SegmentedSealSearch",
     "SerialExecutor",
     "ShardedSealSearch",

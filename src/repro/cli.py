@@ -17,6 +17,9 @@ Everything the library does, scriptable without writing Python::
     seal-repro query engine.pkl --queries queries.jsonl
     seal-repro query engine.pkl --batch-file queries.jsonl
     seal-repro query engine.pkl --batch-file queries.jsonl --mmap
+    seal-repro query engine.pkl --queries queries.jsonl --via-service
+    seal-repro serve engine.pkl --queries queries.jsonl --threads 4 \\
+        --repeat 8 --metrics-out metrics.json
     seal-repro update live.pkl --region 10,10,20,20 --tokens coffee
     seal-repro update live.pkl --from more-objects.jsonl
     seal-repro delete live.pkl --oids 3,17
@@ -43,6 +46,7 @@ from repro.exec.batch import BatchExecutor
 from repro.exec.partition import PARTITION_POLICIES
 from repro.exec.segments import SegmentedSealSearch
 from repro.exec.sharded import ShardedSealSearch
+from repro.service import QueryService
 from repro.datasets import generate_queries, generate_twitter, generate_usa
 from repro.io import load_corpus, load_engine, load_queries, save_corpus, save_engine, save_queries
 
@@ -173,7 +177,40 @@ def _build_parser() -> argparse.ArgumentParser:
              "reading it into memory (format-3 snapshots of columnar engines)",
     )
     query.add_argument("--show", type=int, default=10, help="answers to print per query")
+    query.add_argument(
+        "--via-service", action="store_true",
+        help="route through the concurrent query service (result cache + "
+             "admission control) and print a service summary",
+    )
     query.set_defaults(handler=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive a workload through the concurrent query service "
+             "(client threads, result cache, admission control, metrics JSON)",
+    )
+    serve.add_argument("engine")
+    serve.add_argument("--queries", required=True, help="JSONL query workload")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="client threads replaying the workload concurrently")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="workload replays per client thread (repeats hit the cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache (every request runs the engine)")
+    serve.add_argument("--cache-capacity", type=int, default=1024)
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="seconds a cached result stays servable")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="admission worker threads")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="requests allowed to queue past the busy workers")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request queue-wait deadline in milliseconds")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the snapshot's columnar-array sidecar")
+    serve.add_argument("--metrics-out",
+                       help="write the metrics JSON here (default: print to stdout)")
+    serve.set_defaults(handler=_cmd_serve)
 
     sweep_cmd = sub.add_parser("sweep", help="threshold sweep over methods (figure-style table)")
     sweep_cmd.add_argument("corpus")
@@ -398,43 +435,142 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_answers(i: int, result, show: int) -> str:
+    shown = result.answers[:show]
+    more = f" (+{len(result) - len(shown)} more)" if len(result) > len(shown) else ""
+    return f"query {i}: {len(result)} answers {shown}{more}"
+
+
+def _service_summary(service: QueryService) -> str:
+    metrics = service.metrics()
+    cache = metrics["cache"]
+    latency = metrics["latency_ms"]
+    hit_note = (
+        f"cache hits {cache['hits']}/{cache['hits'] + cache['misses']} "
+        f"({100.0 * cache['hit_rate']:.0f}%)"
+        if cache is not None
+        else "cache off"
+    )
+    return (
+        f"service: epoch {metrics['epoch']}, {hit_note}, "
+        f"p50 {latency['p50_ms']:.2f} ms, p99 {latency['p99_ms']:.2f} ms, "
+        f"rejected {metrics['admission']['rejected']}"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = load_engine(args.engine, mmap=args.mmap)
-    if args.batch_file:
-        queries = load_queries(args.batch_file)
-        if hasattr(engine, "search_batch"):
-            batch = engine.search_batch(queries)
+    service = QueryService(engine) if args.via_service else None
+    try:
+        if args.batch_file:
+            queries = load_queries(args.batch_file)
+            started = time.perf_counter()
+            if service is not None:
+                results = service.query_batch(queries)
+            elif hasattr(engine, "search_batch"):
+                results = list(engine.search_batch(queries))
+            else:
+                results = list(BatchExecutor().run(engine, queries))
+            elapsed = time.perf_counter() - started
+            for i, result in enumerate(results):
+                print(_print_answers(i, result, args.show))
+            qps = len(results) / elapsed if elapsed else 0.0
+            mean_ms = 1000.0 * elapsed / len(results) if results else 0.0
+            print(f"batch: {len(results)} queries in {elapsed:.3f}s "
+                  f"({qps:.0f} q/s, {mean_ms:.2f} ms/query)")
+            if service is not None:
+                print(_service_summary(service))
+            return 0
+        if args.queries:
+            queries = load_queries(args.queries)
         else:
-            batch = BatchExecutor().run(engine, queries)
-        for i, result in enumerate(batch):
-            shown = result.answers[: args.show]
-            more = f" (+{len(result) - len(shown)} more)" if len(result) > len(shown) else ""
-            print(f"query {i}: {len(result)} answers {shown}{more}")
-        stats = batch.stats
-        print(f"batch: {stats.queries} queries in {stats.elapsed_seconds:.3f}s "
-              f"({stats.qps:.0f} q/s, {stats.mean_ms:.2f} ms/query)")
-        return 0
-    if args.queries:
-        queries = load_queries(args.queries)
-    else:
-        if not args.region or args.tokens is None:
-            print("error: provide --region and --tokens, --queries, or --batch-file",
-                  file=sys.stderr)
-            return 2
-        region = _parse_region(args.region)
-        if region is None:
-            print("error: --region needs x1,y1,x2,y2", file=sys.stderr)
-            return 2
-        tokens = frozenset(t for t in args.tokens.split(",") if t)
-        queries = [Query(region, tokens, args.tau_r, args.tau_t)]
+            if not args.region or args.tokens is None:
+                print("error: provide --region and --tokens, --queries, or --batch-file",
+                      file=sys.stderr)
+                return 2
+            region = _parse_region(args.region)
+            if region is None:
+                print("error: --region needs x1,y1,x2,y2", file=sys.stderr)
+                return 2
+            tokens = frozenset(t for t in args.tokens.split(",") if t)
+            queries = [Query(region, tokens, args.tau_r, args.tau_t)]
 
-    for i, query in enumerate(queries):
-        result = _engine_search(engine, query)
-        shown = result.answers[: args.show]
-        more = f" (+{len(result) - len(shown)} more)" if len(result) > len(shown) else ""
-        print(f"query {i}: {len(result)} answers {shown}{more} — "
-              f"{1000 * result.stats.total_seconds:.2f} ms, "
-              f"{result.stats.candidates} candidates")
+        for i, query in enumerate(queries):
+            if service is not None:
+                result = service.query(query)
+            else:
+                result = _engine_search(engine, query)
+            print(f"{_print_answers(i, result, args.show)} — "
+                  f"{1000 * result.stats.total_seconds:.2f} ms, "
+                  f"{result.stats.candidates} candidates")
+        if service is not None:
+            print(_service_summary(service))
+        return 0
+    finally:
+        if service is not None:
+            service.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    engine = load_engine(args.engine, mmap=args.mmap)
+    queries = load_queries(args.queries)
+    if not queries:
+        print("error: the workload file holds no queries", file=sys.stderr)
+        return 2
+    if args.threads < 1 or args.repeat < 1:
+        print("error: --threads and --repeat must be positive", file=sys.stderr)
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print("error: --deadline-ms must be positive", file=sys.stderr)
+        return 2
+    service = QueryService(
+        engine,
+        enable_cache=not args.no_cache,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_deadline=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+    )
+    failures: List[BaseException] = []
+
+    def client() -> None:
+        try:
+            for _ in range(args.repeat):
+                for query in queries:
+                    service.query(query)
+        except BaseException as exc:  # surfaced after the join, loudly
+            failures.append(exc)
+
+    total = args.threads * args.repeat * len(queries)
+    print(f"serving {type(engine).__name__} to {args.threads} client threads "
+          f"× {args.repeat} repeats × {len(queries)} queries "
+          f"(cache {'off' if args.no_cache else 'on'}, {args.workers} workers)")
+    started = time.perf_counter()
+    threads = [threading.Thread(target=client, name=f"client-{i}") for i in range(args.threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    service.close()
+    if failures:
+        print(f"error: {len(failures)} client(s) failed: {failures[0]}", file=sys.stderr)
+        return 2
+    qps = total / elapsed if elapsed else 0.0
+    print(f"served {total} requests in {elapsed:.3f}s ({qps:.0f} q/s)")
+    print(_service_summary(service))
+    metrics_text = service.metrics_json()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics_text + "\n")
+        print(f"metrics JSON written to {args.metrics_out}")
+    else:
+        print(metrics_text)
     return 0
 
 

@@ -23,3 +23,19 @@ class ConfigurationError(SealError, ValueError):
 
 class IndexBuildError(SealError, RuntimeError):
     """An index could not be constructed from the given corpus."""
+
+
+class ServiceError(SealError, RuntimeError):
+    """The serving layer could not honor a request (see subclasses)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The service is saturated: worker pool busy and the queue full.
+
+    Raised *loudly* at submit time instead of queueing unboundedly —
+    back-pressure is the client's signal to retry later or shed load.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's deadline passed before a worker could start it."""

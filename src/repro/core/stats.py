@@ -81,6 +81,16 @@ class SearchResult:
     answers: List[int]
     stats: SearchStats
 
+    def copy(self) -> "SearchResult":
+        """An independent copy: fresh answer list, fresh stats.
+
+        The serving layer's result cache stores and serves copies so two
+        clients never alias one mutable stats object (subclasses such as
+        :class:`~repro.exec.sharded.ShardedSearchResult` copy down to a
+        plain ``SearchResult``; per-shard breakdowns are not cached).
+        """
+        return SearchResult(answers=list(self.answers), stats=self.stats.copy())
+
     def __iter__(self):
         return iter(self.answers)
 

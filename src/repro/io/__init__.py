@@ -7,7 +7,7 @@ to query-serving processes.
 """
 
 from repro.io.corpus_io import load_corpus, load_queries, save_corpus, save_queries
-from repro.io.snapshot import load_engine, read_manifest, save_engine
+from repro.io.snapshot import load_engine, read_manifest, save_engine, validate_snapshot
 
 __all__ = [
     "load_corpus",
@@ -17,4 +17,5 @@ __all__ = [
     "save_corpus",
     "save_engine",
     "save_queries",
+    "validate_snapshot",
 ]

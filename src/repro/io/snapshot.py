@@ -184,6 +184,42 @@ def load_engine(path: str | Path, *, mmap: bool = False) -> Any:
         raise SnapshotError(f"corrupt or incompatible snapshot {path}: {exc}") from exc
 
 
+def validate_snapshot(path: str | Path) -> dict:
+    """Validate a snapshot without deserialising its engine blob.
+
+    Checks everything :func:`load_engine` would reject *before* paying
+    for (or trusting) the engine bytes: envelope magic, snapshot format,
+    and — when the engine carries columnar arrays — that the sidecar
+    file is present next to the snapshot.  The serving layer runs this
+    as the pre-swap gate, so a bad file never displaces a live engine.
+
+    Returns:
+        The envelope metadata: ``format``, ``library_version``,
+        ``manifest`` (segment/tombstone accounting or ``None``) and
+        ``num_arrays``.
+
+    Raises:
+        SnapshotError: Exactly as :func:`load_engine` would for a
+            missing/corrupt envelope, a format mismatch, or a missing
+            sidecar.
+    """
+    path = Path(path)
+    envelope = _read_envelope(path)
+    if envelope.get("num_arrays", 0):
+        sidecar = sidecar_path(path)
+        if not sidecar.exists():
+            raise SnapshotError(
+                f"snapshot sidecar missing: {sidecar} (snapshot and sidecar "
+                "must move together)"
+            )
+    return {
+        "format": envelope.get("format"),
+        "library_version": envelope.get("library_version"),
+        "manifest": envelope.get("manifest"),
+        "num_arrays": envelope.get("num_arrays", 0),
+    }
+
+
 def read_manifest(path: str | Path) -> Any:
     """The snapshot's manifest block, without loading the engine.
 

@@ -1,0 +1,42 @@
+"""The serving layer: concurrent, cached, admission-controlled queries.
+
+Everything below the service boundary is a library (engines, executors,
+indexes); this package is the first layer whose correctness is
+*concurrency-dependent* — it holds one engine for many client threads
+and survives updates and snapshot hot-swaps without handing out stale
+answers.
+
+* :mod:`repro.service.manager` — :class:`EngineManager`: the versioned
+  engine holder (epoch counter bumped by every answer-affecting
+  mutation, readers-writer discipline, atomic snapshot hot-swap).
+* :mod:`repro.service.cache` — :class:`ResultCache`: LRU + TTL, keyed
+  on canonicalized ``(query, epoch)`` so churn invalidates by
+  construction; entries are defensive copies both ways.
+* :mod:`repro.service.admission` — :class:`AdmissionController`:
+  bounded worker pool + queue-depth limit + per-request deadlines;
+  overflow rejects loudly.
+* :mod:`repro.service.metrics` — latency histogram and counters behind
+  the JSON metrics surface.
+* :mod:`repro.service.service` — :class:`QueryService`: the facade
+  composing all of the above (cache → admission → executor → engine).
+"""
+
+from repro.core.errors import AdmissionRejected, DeadlineExceeded, ServiceError
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.manager import EngineManager
+from repro.service.metrics import LatencyHistogram, RequestCounters
+from repro.service.service import QueryService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "EngineManager",
+    "LatencyHistogram",
+    "QueryService",
+    "RequestCounters",
+    "ResultCache",
+    "ServiceError",
+    "canonical_key",
+]

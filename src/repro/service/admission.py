@@ -1,0 +1,168 @@
+"""Admission control: a bounded worker pool that rejects overflow loudly.
+
+An unbounded executor converts overload into unbounded queueing — every
+request eventually "succeeds" after a latency nobody would call service.
+This controller implements the standard alternative: a fixed worker pool
+fronted by a bounded queue, with three explicit outcomes per request:
+
+* **admitted** — a slot (worker or queue position) was free; the request
+  runs and its future resolves with the result;
+* **rejected** — pool busy *and* queue full at submit time:
+  :class:`~repro.core.errors.AdmissionRejected` raises immediately in
+  the caller (back-pressure, not silent queueing);
+* **expired** — admitted, but its deadline passed while it waited for a
+  worker: the worker discards it without executing and its future raises
+  :class:`~repro.core.errors.DeadlineExceeded`.  Deadlines bound *queue
+  wait*, the component of latency admission control owns; once execution
+  starts the request runs to completion (a half-executed query has no
+  useful refund).
+
+On this container (1 CPU, GIL) the pool buys concurrency structure, not
+parallel speed-up — the point is bounded queue depth and honest failure
+modes under burst load, which is what the tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, TypeVar
+
+from repro.core.errors import AdmissionRejected, DeadlineExceeded
+
+T = TypeVar("T")
+
+
+class AdmissionController:
+    """A bounded executor: ``workers`` threads, at most ``max_queue`` waiting.
+
+    Args:
+        workers: Concurrent worker threads executing requests.
+        max_queue: Requests allowed to wait beyond the ones executing;
+            total in-flight capacity is ``workers + max_queue``.
+        default_deadline: Seconds a request may wait for a worker before
+            it expires; ``None`` disables deadlines unless a request
+            brings its own.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        max_queue: int = 32,
+        default_deadline: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be a positive int")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if default_deadline is not None and default_deadline <= 0.0:
+            raise ValueError("default_deadline must be positive seconds or None")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_deadline = default_deadline
+        self._slots = threading.BoundedSemaphore(workers + max_queue)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="seal-service"
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.submitted = 0
+        self.rejected = 0
+        self.expired = 0
+        self._closed = False
+
+    def submit(
+        self,
+        fn: Callable[..., T],
+        /,
+        *args,
+        deadline: float | None = None,
+        **kwargs,
+    ) -> "Future[T]":
+        """Admit one request, or raise :class:`AdmissionRejected` now.
+
+        Args:
+            fn: The work to run on a pool worker.
+            deadline: Seconds from now the request may wait for a worker
+                (overrides ``default_deadline``; ``None`` inherits it).
+
+        Returns:
+            A future resolving to ``fn(*args, **kwargs)``; it raises
+            :class:`DeadlineExceeded` if the deadline lapsed in queue.
+        """
+        if self._closed:
+            raise RuntimeError("AdmissionController is shut down")
+        if deadline is None:
+            deadline = self.default_deadline
+        expires_at = time.monotonic() + deadline if deadline is not None else None
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self.rejected += 1
+            raise AdmissionRejected(
+                f"service saturated: {self.workers} workers busy and "
+                f"admission queue full ({self.max_queue} waiting); retry later"
+            )
+        with self._lock:
+            self.submitted += 1
+            self._in_flight += 1
+
+        def run():
+            try:
+                if expires_at is not None and time.monotonic() > expires_at:
+                    with self._lock:
+                        self.expired += 1
+                    raise DeadlineExceeded(
+                        f"request waited past its {deadline:.3f}s deadline "
+                        "before a worker was free"
+                    )
+                return fn(*args, **kwargs)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                self._slots.release()
+
+        try:
+            return self._pool.submit(run)
+        except RuntimeError:
+            # Pool shut down between the check and the submit: give the
+            # slot back so the controller's accounting stays exact.
+            with self._lock:
+                self._in_flight -= 1
+            self._slots.release()
+            raise
+
+    def run(self, fn: Callable[..., T], /, *args, deadline: float | None = None, **kwargs) -> T:
+        """Submit and wait: the synchronous convenience path."""
+        return self.submit(fn, *args, deadline=deadline, **kwargs).result()
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing or queued."""
+        with self._lock:
+            return self._in_flight
+
+    def counters(self) -> Dict[str, object]:
+        """JSON-serializable admission accounting."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "default_deadline_seconds": self.default_deadline,
+                "in_flight": self._in_flight,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "deadline_expired": self.expired,
+            }
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) drain the pool."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionController(workers={self.workers}, max_queue={self.max_queue}, "
+            f"in_flight={self.in_flight})"
+        )

@@ -1,0 +1,343 @@
+"""The concurrent query service: cache → admission → executor → engine.
+
+:class:`QueryService` is the layer a deployment talks to.  It composes
+the serving primitives into one request path::
+
+    client ──> QueryService
+                 │  1. ResultCache.get((query, epoch))        — hit? done.
+                 │  2. AdmissionController.submit(...)        — or reject.
+                 │  3. EngineManager.reading() → (engine, E)  — shared lock
+                 │  4. engine.search_query / BatchExecutor    — the work
+                 │  5. ResultCache.put((query, E), result)
+                 └─ metrics: latency histogram + counters, JSON export
+
+Correctness properties the tests pin:
+
+* answers through the service are **identical** to calling the engine
+  directly, serial, from any number of client threads;
+* a cached answer can never be stale: keys embed the engine epoch and
+  every answer-affecting mutation bumps it (see
+  :mod:`repro.service.cache` and :mod:`repro.service.manager`);
+* results handed to clients are private copies — two clients never
+  share one mutable :class:`~repro.core.stats.SearchStats`;
+* overload rejects loudly at admission instead of queueing unboundedly.
+
+Single queries route through the engine's canonical
+:func:`~repro.exec.pipeline.execute_query` path; bursts submitted via
+:meth:`QueryService.query_batch` deduplicate identical queries, check
+the cache per member, and run the misses through one
+:class:`~repro.exec.batch.BatchExecutor` trip (shared verification
+scratch), filling the cache on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.objects import Query
+from repro.core.stats import SearchResult
+from repro.exec.batch import BatchExecutor
+from repro.geometry import Rect
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.manager import EngineManager
+from repro.service.metrics import LatencyHistogram, RequestCounters
+
+
+def _run_single(engine: Any, query: Query) -> SearchResult:
+    """One query against any engine flavor (facade or bare method)."""
+    if hasattr(engine, "search_query"):
+        return engine.search_query(query)
+    return engine.search(query)
+
+
+def _run_batch(engine: Any, queries: List[Query], executor: BatchExecutor) -> List[SearchResult]:
+    """A query batch against any engine flavor, through shared scratch."""
+    if hasattr(engine, "search_batch"):
+        return list(engine.search_batch(queries, executor=executor))
+    if hasattr(engine, "candidates") and hasattr(engine, "verifier"):
+        return list(executor.run(engine, queries))
+    return [_run_single(engine, query) for query in queries]
+
+
+def _value_key(query: Query) -> Tuple:
+    """A query's canonical value identity (epoch-independent)."""
+    return canonical_key(0, query)[1:]
+
+
+class QueryService:
+    """A thread-safe serving facade over any SEAL engine.
+
+    Args:
+        engine: The engine to serve — any of :class:`~repro.core.engine.
+            SealSearch`, :class:`~repro.exec.sharded.ShardedSealSearch`,
+            :class:`~repro.exec.segments.SegmentedSealSearch`, a bare
+            :class:`~repro.core.method.SearchMethod` — or an existing
+            :class:`~repro.service.manager.EngineManager` to share one
+            versioned engine between services.
+        cache_capacity: Result-cache entries (LRU past it).
+        cache_ttl: Seconds a cached result stays servable (None: no TTL).
+        enable_cache: ``False`` serves every request from the engine —
+            the differential-test oracle mode and the bench baseline.
+        workers: Admission worker threads.
+        max_queue: Requests allowed to wait beyond the executing ones;
+            submit raises :class:`~repro.core.errors.AdmissionRejected`
+            past that.
+        default_deadline: Per-request queue-wait deadline in seconds
+            (None: no deadline unless a request brings one).
+        batch_executor: Override the :class:`BatchExecutor` used for
+            burst coalescing (e.g. ``vectorized=False``).
+
+    Examples:
+        >>> from repro import Rect, SealSearch
+        >>> service = QueryService(SealSearch([(Rect(0, 0, 2, 2), {"a"})]))
+        >>> with service:
+        ...     result = service.search(Rect(0, 0, 2, 2), {"a"}, 0.5, 0.5)
+        >>> result.answers
+        [0]
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        cache_capacity: int = 1024,
+        cache_ttl: float | None = None,
+        enable_cache: bool = True,
+        workers: int = 4,
+        max_queue: int = 32,
+        default_deadline: float | None = None,
+        batch_executor: BatchExecutor | None = None,
+    ) -> None:
+        self._manager = engine if isinstance(engine, EngineManager) else EngineManager(engine)
+        self._cache: Optional[ResultCache] = (
+            ResultCache(cache_capacity, ttl=cache_ttl) if enable_cache else None
+        )
+        if self._cache is not None:
+            self._manager.add_epoch_listener(self._cache.drop_stale)
+        self._admission = AdmissionController(
+            workers=workers, max_queue=max_queue, default_deadline=default_deadline
+        )
+        self._batch_executor = batch_executor if batch_executor is not None else BatchExecutor()
+        self._histogram = LatencyHistogram()
+        self._counters = RequestCounters()
+
+    # ------------------------------------------------------------------
+    # Query paths
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, query: Query, *, deadline: float | None = None, use_cache: bool = True
+    ) -> "Future[SearchResult]":
+        """Admit one query asynchronously; the future yields its result.
+
+        Cache hits resolve immediately without consuming an admission
+        slot — that bypass is the throughput win caching exists for.
+
+        Raises:
+            AdmissionRejected: Synchronously, when the service is
+                saturated (the request never enters the queue).
+        """
+        started = time.perf_counter()
+        self._counters.request()
+        hit = self._cache_lookup(query) if use_cache else None
+        if hit is not None:
+            self._histogram.observe(time.perf_counter() - started)
+            future: "Future[SearchResult]" = Future()
+            future.set_result(hit)
+            return future
+        return self._admission.submit(
+            self._timed_execute, query, use_cache, started, deadline=deadline
+        )
+
+    def query(
+        self, query: Query, *, deadline: float | None = None, use_cache: bool = True
+    ) -> SearchResult:
+        """Execute one query synchronously through the full service path.
+
+        Raises:
+            AdmissionRejected: Saturated at submit time.
+            DeadlineExceeded: The deadline lapsed before a worker
+                started the request.
+        """
+        return self.submit(query, deadline=deadline, use_cache=use_cache).result()
+
+    def search(
+        self, region: Rect, tokens: Iterable[str], tau_r: float, tau_t: float
+    ) -> SearchResult:
+        """Convenience single query from raw parts (mirrors the engines)."""
+        return self.query(Query(region, frozenset(tokens), tau_r, tau_t))
+
+    def query_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        deadline: float | None = None,
+        use_cache: bool = True,
+    ) -> List[SearchResult]:
+        """Serve a burst: dedupe, check cache per member, batch the misses.
+
+        Identical queries inside the burst coalesce into one execution;
+        the miss set runs as a single admitted task through the
+        :class:`BatchExecutor` (shared verification scratch), and every
+        member's answer is a private copy, in input order.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        started = time.perf_counter()
+        self._counters.batch(len(queries))
+        results: List[Optional[SearchResult]] = [None] * len(queries)
+        pending: Dict[Tuple, List[int]] = {}
+        for i, query in enumerate(queries):
+            hit = self._cache_lookup(query) if use_cache else None
+            if hit is not None:
+                results[i] = hit
+                continue
+            pending.setdefault(_value_key(query), []).append(i)
+        if pending:
+            positions = list(pending.values())
+            unique = [queries[group[0]] for group in positions]
+            epoch, miss_results = self._admission.submit(
+                self._execute_batch, unique, deadline=deadline
+            ).result()
+            for group, result in zip(positions, miss_results):
+                if use_cache and self._cache is not None:
+                    self._cache.put(epoch, queries[group[0]], result)
+                results[group[0]] = result
+                for duplicate in group[1:]:
+                    results[duplicate] = result.copy()
+        elapsed = time.perf_counter() - started
+        # Batch members record amortized latency (wall / members): the
+        # histogram then stays consistent with q/s arithmetic.
+        for _ in queries:
+            self._histogram.observe(elapsed / len(queries))
+        return results  # type: ignore[return-value]  # every slot filled above
+
+    # ------------------------------------------------------------------
+    # Execution internals (run on admission workers)
+    # ------------------------------------------------------------------
+
+    def _cache_lookup(self, query: Query) -> Optional[SearchResult]:
+        if self._cache is None:
+            return None
+        return self._cache.get(self._manager.epoch, query)
+
+    def _timed_execute(self, query: Query, use_cache: bool, started: float) -> SearchResult:
+        try:
+            with self._manager.reading() as (engine, epoch):
+                result = _run_single(engine, query)
+        except Exception:
+            self._counters.error()
+            raise
+        if use_cache and self._cache is not None:
+            self._cache.put(epoch, query, result)
+        self._histogram.observe(time.perf_counter() - started)
+        return result
+
+    def _execute_batch(self, queries: List[Query]) -> Tuple[int, List[SearchResult]]:
+        try:
+            with self._manager.reading() as (engine, epoch):
+                return epoch, _run_batch(engine, queries, self._batch_executor)
+        except Exception:
+            self._counters.error()
+            raise
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle (delegated to the manager; epoch bumps invalidate)
+    # ------------------------------------------------------------------
+
+    def insert(self, region: Rect, tokens: Iterable[str]) -> int:
+        """Insert into the live engine (updatable engines only)."""
+        return self._manager.insert(region, tokens)
+
+    def delete(self, oid: int) -> bool:
+        """Tombstone an object in the live engine (updatable engines only)."""
+        return self._manager.delete(oid)
+
+    def compact(self) -> None:
+        """Fully compact the live engine (updatable engines only)."""
+        self._manager.compact()
+
+    def flush(self) -> None:
+        """Seal the live engine's write buffer (answer-preserving)."""
+        self._manager.flush()
+
+    def swap_engine(self, engine: Any) -> int:
+        """Hot-swap to ``engine``; returns the new epoch."""
+        return self._manager.swap(engine)
+
+    def load_snapshot(self, path, *, mmap: bool = False) -> int:
+        """Hot-swap to a pre-validated snapshot loaded off-lock."""
+        return self._manager.load_snapshot(path, mmap=mmap)
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def manager(self) -> EngineManager:
+        return self._manager
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def epoch(self) -> int:
+        return self._manager.epoch
+
+    @property
+    def engine(self) -> Any:
+        return self._manager.engine
+
+    def metrics(self) -> Dict[str, object]:
+        """The service's JSON-serializable metrics document.
+
+        Schema: ``epoch`` (int), ``engine`` (class name), ``requests``
+        (totals/batches/errors), ``cache`` (hit/miss/eviction counters,
+        or ``None`` with the cache disabled), ``admission``
+        (workers/queue/rejections), ``latency_ms`` (histogram with
+        mean/max and interpolated p50/p90/p99).
+        """
+        engine, epoch = self._manager.current
+        return {
+            "epoch": epoch,
+            "engine": type(engine).__name__,
+            "requests": self._counters.as_dict(),
+            "cache": self._cache.counters() if self._cache is not None else None,
+            "admission": self._admission.counters(),
+            "latency_ms": self._histogram.as_dict(),
+        }
+
+    def metrics_json(self, *, indent: int | None = 2) -> str:
+        """The metrics document rendered as JSON text."""
+        return json.dumps(self.metrics(), indent=indent)
+
+    def close(self) -> None:
+        """Drain the worker pool and stop accepting requests.
+
+        Also detaches this service's cache from the manager's epoch
+        listeners, so a shared long-lived :class:`EngineManager` never
+        keeps notifying (and keeping alive) a closed service's cache.
+        """
+        self._admission.shutdown(wait=True)
+        if self._cache is not None:
+            self._manager.remove_epoch_listener(self._cache.drop_stale)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        engine, epoch = self._manager.current
+        cache = "on" if self._cache is not None else "off"
+        return (
+            f"QueryService(engine={type(engine).__name__}, epoch={epoch}, "
+            f"cache={cache}, workers={self._admission.workers})"
+        )

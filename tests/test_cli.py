@@ -287,3 +287,141 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "token" in out and "naive" in out
         assert "candidates per query" in out
+
+
+class TestViaService:
+    @pytest.fixture()
+    def engine_and_workload(self, corpus_file, tmp_path, figure1_query, capsys):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query, figure1_query], workload)
+        capsys.readouterr()
+        return engine, workload
+
+    def test_single_query_via_service(self, engine_and_workload, capsys):
+        engine, _ = engine_and_workload
+        rc = main(["query", str(engine), "--region", "35,10,75,70",
+                   "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3",
+                   "--via-service"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 answers [1]" in out
+        assert "service: epoch 0" in out and "rejected 0" in out
+
+    def test_workload_via_service_hits_cache_on_repeat(self, engine_and_workload, capsys):
+        engine, workload = engine_and_workload
+        rc = main(["query", str(engine), "--queries", str(workload), "--via-service"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The workload repeats one query: the second run is a cache hit.
+        assert "query 0: 1 answers [1]" in out
+        assert "query 1: 1 answers [1]" in out
+        assert "cache hits 1/2 (50%)" in out
+
+    def test_batch_via_service(self, engine_and_workload, capsys):
+        engine, workload = engine_and_workload
+        rc = main(["query", str(engine), "--batch-file", str(workload), "--via-service"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 queries" in out
+        assert "service: epoch 0" in out
+
+    def test_plain_batch_output_unchanged(self, engine_and_workload, capsys):
+        engine, workload = engine_and_workload
+        rc = main(["query", str(engine), "--batch-file", str(workload)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 queries" in out and "service:" not in out
+
+
+class TestServe:
+    @pytest.fixture()
+    def engine_and_workload(self, corpus_file, tmp_path, figure1_query, capsys):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query], workload)
+        capsys.readouterr()
+        return engine, workload
+
+    def test_serve_prints_summary_and_metrics_json(self, engine_and_workload, capsys):
+        import json
+
+        engine, workload = engine_and_workload
+        rc = main(["serve", str(engine), "--queries", str(workload),
+                   "--threads", "2", "--repeat", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 6 requests" in out
+        assert "service: epoch 0" in out
+        # The metrics document prints as valid JSON after the summary.
+        metrics = json.loads(out[out.index("{"):])
+        assert metrics["requests"]["total"] == 6
+        assert metrics["cache"]["hits"] + metrics["cache"]["misses"] == 6
+        assert metrics["admission"]["rejected"] == 0
+
+    def test_serve_metrics_out_writes_file(self, engine_and_workload, tmp_path, capsys):
+        import json
+
+        engine, workload = engine_and_workload
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(["serve", str(engine), "--queries", str(workload),
+                   "--threads", "2", "--repeat", "2",
+                   "--metrics-out", str(metrics_path)])
+        assert rc == 0
+        assert "metrics JSON written to" in capsys.readouterr().out
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["engine"] == "TokenFilter"
+        assert metrics["latency_ms"]["count"] == 4
+
+    def test_serve_no_cache_runs_every_request(self, engine_and_workload, capsys):
+        import json
+
+        engine, workload = engine_and_workload
+        rc = main(["serve", str(engine), "--queries", str(workload),
+                   "--threads", "2", "--repeat", "2", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        metrics = json.loads(out[out.index("{"):])
+        assert metrics["cache"] is None
+        assert metrics["admission"]["submitted"] == 4
+
+    def test_serve_rejects_empty_workload(self, engine_and_workload, tmp_path, capsys):
+        engine, _ = engine_and_workload
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["serve", str(engine), "--queries", str(empty)])
+        assert rc == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_serve_validates_thread_counts(self, engine_and_workload, capsys):
+        engine, workload = engine_and_workload
+        rc = main(["serve", str(engine), "--queries", str(workload), "--threads", "0"])
+        assert rc == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_deadline(self, engine_and_workload, capsys):
+        engine, workload = engine_and_workload
+        rc = main(["serve", str(engine), "--queries", str(workload),
+                   "--deadline-ms", "0"])
+        assert rc == 2
+        assert "--deadline-ms must be positive" in capsys.readouterr().err
+
+    def test_serve_with_deadline_runs(self, engine_and_workload, capsys):
+        engine, workload = engine_and_workload
+        rc = main(["serve", str(engine), "--queries", str(workload),
+                   "--threads", "2", "--deadline-ms", "5000"])
+        assert rc == 0
+        assert "served 2 requests" in capsys.readouterr().out
+
+    def test_serve_segmented_engine(self, corpus_file, tmp_path, figure1_query, capsys):
+        engine = tmp_path / "live.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--segmented",
+              "--out", str(engine)])
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query], workload)
+        capsys.readouterr()
+        rc = main(["serve", str(engine), "--queries", str(workload), "--threads", "2"])
+        assert rc == 0
+        assert "SegmentedSealSearch" in capsys.readouterr().out

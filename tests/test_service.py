@@ -1,0 +1,319 @@
+"""Tests for the QueryService facade: answers, admission, metrics.
+
+The facade's contract: identical answers to driving the engine
+directly, loud saturation behavior (rejected / expired, never silent
+unbounded queueing), and a JSON-serializable metrics document that
+reflects what actually happened.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    Query,
+    Rect,
+    SealSearch,
+    SegmentedSealSearch,
+    ShardedSealSearch,
+)
+from repro.core.stats import SearchResult, SearchStats
+from repro.service import AdmissionController, EngineManager, QueryService
+from repro.service.metrics import LatencyHistogram
+
+
+def make_engine(n: int = 8) -> SealSearch:
+    return SealSearch(
+        [(Rect(i * 2, 0, i * 2 + 3, 3), {"a", f"t{i % 3}"}) for i in range(n)],
+        method="token",
+    )
+
+
+def workload(n: int = 6):
+    return [
+        Query(Rect(i, 0, i + 4, 3), frozenset({"a", f"t{i % 3}"}), 0.1, 0.1)
+        for i in range(n)
+    ]
+
+
+class GatedEngine:
+    """An engine whose queries block until released (admission tests)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+
+    def search_query(self, query: Query) -> SearchResult:
+        self.calls += 1
+        assert self.release.wait(timeout=10.0)
+        return SearchResult(answers=[], stats=SearchStats())
+
+
+class CountingEngine:
+    """Counts executions; no ``search_batch`` so bursts fall back to
+    per-query execution (making coalescing observable)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def search_query(self, query: Query) -> SearchResult:
+        self.calls += 1
+        return SearchResult(answers=[self.calls], stats=SearchStats(results=1))
+
+
+class TestAnswers:
+    def test_service_matches_direct_engine(self):
+        engine = make_engine()
+        with QueryService(engine, workers=2) as service:
+            for query in workload():
+                assert service.query(query).answers == engine.search_query(query).answers
+
+    def test_search_convenience(self):
+        with QueryService(make_engine(), workers=2) as service:
+            result = service.search(Rect(0, 0, 4, 3), {"a", "t0"}, 0.1, 0.1)
+            assert result.answers == service.query(workload(1)[0]).answers
+
+    def test_repeat_queries_hit_the_cache_with_equal_answers(self):
+        with QueryService(make_engine(), workers=2) as service:
+            first = [service.query(q).answers for q in workload()]
+            second = [service.query(q).answers for q in workload()]
+            assert first == second
+            counters = service.cache.counters()
+            assert counters["hits"] == len(workload())
+            assert counters["misses"] == len(workload())
+
+    def test_cache_disabled_runs_engine_every_time(self):
+        engine = CountingEngine()
+        with QueryService(engine, enable_cache=False, workers=2) as service:
+            query = workload(1)[0]
+            service.query(query)
+            service.query(query)
+            assert engine.calls == 2
+            assert service.metrics()["cache"] is None
+
+    def test_use_cache_false_bypasses_lookup_but_still_serves(self):
+        engine = CountingEngine()
+        with QueryService(engine, workers=2) as service:
+            query = workload(1)[0]
+            service.query(query)
+            service.query(query, use_cache=False)
+            assert engine.calls == 2
+
+    def test_batch_matches_per_query_in_order(self):
+        engine = make_engine()
+        queries = workload()
+        with QueryService(engine, workers=2) as service:
+            results = service.query_batch(queries)
+        expected = [engine.search_query(q).answers for q in queries]
+        assert [r.answers for r in results] == expected
+
+    def test_batch_coalesces_duplicates_and_copies(self):
+        engine = CountingEngine()
+        query = workload(1)[0]
+        with QueryService(engine, workers=2) as service:
+            results = service.query_batch([query, query, query])
+        assert engine.calls == 1  # one execution for three burst members
+        assert [r.answers for r in results] == [[1], [1], [1]]
+        assert results[0] is not results[1] and results[1] is not results[2]
+        assert results[0].stats is not results[1].stats
+
+    def test_batch_mixes_cache_hits_and_misses(self):
+        queries = workload(4)
+        with QueryService(make_engine(), workers=2) as service:
+            service.query(queries[0])
+            service.query(queries[1])
+            results = service.query_batch(queries)
+            assert [r.answers for r in results] == [
+                service.query(q).answers for q in queries
+            ]
+
+    def test_empty_batch(self):
+        with QueryService(make_engine(), workers=2) as service:
+            assert service.query_batch([]) == []
+
+    def test_sharded_engine_through_service(self):
+        corpus = [(Rect(i * 2, 0, i * 2 + 3, 3), {"a", f"t{i % 3}"}) for i in range(9)]
+        sharded = ShardedSealSearch(corpus, "token", shards=3)
+        direct = [sharded.search_query(q).answers for q in workload()]
+        with QueryService(sharded, workers=2) as service:
+            assert [service.query(q).answers for q in workload()] == direct
+            assert [r.answers for r in service.query_batch(workload())] == direct
+
+    def test_service_over_shared_manager(self):
+        manager = EngineManager(make_engine())
+        with QueryService(manager, workers=2) as service:
+            assert service.manager is manager
+            service.query(workload(1)[0])
+            assert service.epoch == 0
+
+    def test_close_detaches_cache_from_shared_manager(self):
+        manager = EngineManager(make_engine())
+        service = QueryService(manager, workers=1)
+        assert len(manager._epoch_listeners) == 1
+        service.close()
+        assert manager._epoch_listeners == []
+        # Cache-off services never attach, so close stays symmetric.
+        plain = QueryService(manager, enable_cache=False, workers=1)
+        plain.close()
+        assert manager._epoch_listeners == []
+
+
+class TestResultPrivacy:
+    def test_cache_hit_returns_private_copies(self):
+        with QueryService(make_engine(), workers=2) as service:
+            query = workload(1)[0]
+            miss = service.query(query)
+            hit_a = service.query(query)
+            hit_b = service.query(query)
+            assert hit_a is not hit_b and hit_a.stats is not hit_b.stats
+            miss.answers.append(10**6)
+            hit_a.stats.results = -5
+            assert service.query(query).answers == hit_b.answers
+
+
+class TestAdmission:
+    def test_overflow_rejected_loudly(self):
+        engine = GatedEngine()
+        service = QueryService(engine, enable_cache=False, workers=1, max_queue=0)
+        try:
+            future = service.submit(workload(1)[0])
+            deadline = time.monotonic() + 5.0
+            while engine.calls == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)  # wait until the worker actually started
+            with pytest.raises(AdmissionRejected, match="saturated"):
+                service.query(workload(2)[1])
+            engine.release.set()
+            assert future.result(timeout=10.0).answers == []
+            assert service.metrics()["admission"]["rejected"] == 1
+        finally:
+            engine.release.set()
+            service.close()
+
+    def test_deadline_expires_queued_request(self):
+        engine = GatedEngine()
+        service = QueryService(engine, enable_cache=False, workers=1, max_queue=4)
+        try:
+            slow = service.submit(workload(1)[0])
+            deadline = time.monotonic() + 5.0
+            while engine.calls == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            # Queued behind the gated request with a deadline it will miss.
+            queued = service.submit(workload(2)[1], deadline=0.01)
+            time.sleep(0.05)
+            engine.release.set()
+            slow.result(timeout=10.0)
+            with pytest.raises(DeadlineExceeded):
+                queued.result(timeout=10.0)
+            assert service.metrics()["admission"]["deadline_expired"] == 1
+        finally:
+            engine.release.set()
+            service.close()
+
+    def test_cache_hits_bypass_admission_slots(self):
+        engine = make_engine()
+        with QueryService(engine, workers=1, max_queue=0) as service:
+            query = workload(1)[0]
+            service.query(query)
+            submitted_before = service.metrics()["admission"]["submitted"]
+            for _ in range(5):
+                assert service.query(query).answers is not None
+            assert service.metrics()["admission"]["submitted"] == submitted_before
+
+    def test_admission_controller_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(workers=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(default_deadline=0.0)
+
+    def test_submit_after_close_raises(self):
+        service = QueryService(make_engine(), workers=1)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.query(workload(1)[0])
+
+
+class TestErrors:
+    def test_engine_errors_counted_and_propagated(self):
+        class Exploding:
+            def search_query(self, query):
+                raise ZeroDivisionError("engine blew up")
+
+        with QueryService(Exploding(), enable_cache=False, workers=1) as service:
+            with pytest.raises(ZeroDivisionError):
+                service.query(workload(1)[0])
+            with pytest.raises(ZeroDivisionError):
+                service.query_batch(workload(2))
+            assert service.metrics()["requests"]["errors"] == 2
+
+
+class TestMetrics:
+    def test_metrics_document_schema_and_json(self):
+        with QueryService(make_engine(), workers=2) as service:
+            for query in workload():
+                service.query(query)
+            service.query_batch(workload())
+            metrics = service.metrics()
+        assert set(metrics) == {
+            "epoch", "engine", "requests", "cache", "admission", "latency_ms",
+        }
+        assert metrics["epoch"] == 0
+        assert metrics["engine"] == "SealSearch"
+        assert metrics["requests"]["total"] == 12
+        assert metrics["requests"]["batches"] == 1
+        assert metrics["requests"]["batch_members"] == 6
+        assert metrics["cache"]["hits"] == 6  # the whole batch hit
+        latency = metrics["latency_ms"]
+        assert latency["count"] == 12
+        assert latency["p50_ms"] <= latency["p90_ms"] <= latency["p99_ms"]
+        assert latency["p99_ms"] <= latency["max_ms"] or latency["max_ms"] == 0.0
+        # The whole document must round-trip as JSON (the CLI writes it).
+        parsed = json.loads(service.metrics_json())
+        assert parsed["admission"]["workers"] == 2
+
+    def test_epoch_visible_in_metrics_after_updates(self):
+        engine = SegmentedSealSearch(
+            [(Rect(0, 0, 2, 2), {"a"})], method="token", buffer_capacity=4
+        )
+        with QueryService(engine, workers=2) as service:
+            query = Query(Rect(0, 0, 10, 10), frozenset({"a"}), 0.01, 0.0)
+            before = service.query(query).answers
+            oid = service.insert(Rect(1, 1, 3, 3), {"a"})
+            after = service.query(query).answers
+            assert service.metrics()["epoch"] == 1
+            assert after == sorted(before + [oid])
+            service.delete(oid)
+            assert service.query(query).answers == before
+            assert service.metrics()["epoch"] == 2
+            assert service.cache.counters()["invalidated"] > 0
+
+
+class TestLatencyHistogram:
+    def test_percentiles_ordered_and_bounded(self):
+        histogram = LatencyHistogram()
+        for ms in (0.02, 0.2, 0.2, 2.0, 2.0, 2.0, 20.0, 200.0):
+            histogram.observe(ms / 1000.0)
+        assert histogram.count == 8
+        p50, p99 = histogram.percentile(50.0), histogram.percentile(99.0)
+        assert 0.0 < p50 <= p99 <= 200.0
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(10.0)  # 10 000 ms: beyond the last bound
+        assert histogram.percentile(99.0) == pytest.approx(10_000.0)
+        snapshot = histogram.as_dict()
+        assert snapshot["buckets"][-1] == {"le_ms": "inf", "count": 1}
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(50.0) == 0.0
+        assert histogram.as_dict()["count"] == 0

@@ -1,0 +1,216 @@
+"""Tests for the epoch-keyed LRU+TTL result cache.
+
+The two load-bearing properties: keys embed the engine epoch (so churn
+invalidates by construction), and every entry is a defensive copy both
+on the way in and on the way out (so no two clients — and never the
+cache itself — alias one mutable stats object).  The aliasing cases are
+the regression suite for the same bug family as the PR 1
+``UpdatableSealSearch`` stats fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Query, Rect, SearchResult, SearchStats
+from repro.exec.sharded import ShardedSearchResult
+from repro.service import ResultCache, canonical_key
+
+
+def make_query(x: float = 0.0, tokens=("a", "b"), tau: float = 0.3) -> Query:
+    return Query(Rect(x, 0.0, x + 10.0, 10.0), frozenset(tokens), tau, tau)
+
+
+def make_result(answers=(1, 2, 3), candidates: int = 9) -> SearchResult:
+    return SearchResult(
+        answers=list(answers), stats=SearchStats(candidates=candidates, results=len(answers))
+    )
+
+
+class TestCanonicalKey:
+    def test_token_order_is_canonicalized(self):
+        a = Query(Rect(0, 0, 1, 1), frozenset(["x", "y", "z"]), 0.2, 0.2)
+        b = Query(Rect(0, 0, 1, 1), frozenset(["z", "x", "y"]), 0.2, 0.2)
+        assert canonical_key(5, a) == canonical_key(5, b)
+
+    def test_epoch_distinguishes_keys(self):
+        q = make_query()
+        assert canonical_key(1, q) != canonical_key(2, q)
+
+    def test_value_fields_distinguish_keys(self):
+        base = make_query()
+        assert canonical_key(0, base) != canonical_key(0, make_query(x=1.0))
+        assert canonical_key(0, base) != canonical_key(0, make_query(tokens=("a",)))
+        assert canonical_key(0, base) != canonical_key(0, make_query(tau=0.4))
+
+
+class TestLookupAndLRU:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        q = make_query()
+        assert cache.get(0, q) is None
+        cache.put(0, q, make_result())
+        hit = cache.get(0, q)
+        assert hit is not None and hit.answers == [1, 2, 3]
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_epoch_bump_misses_by_construction(self):
+        cache = ResultCache(capacity=4)
+        q = make_query()
+        cache.put(0, q, make_result())
+        assert cache.get(1, q) is None  # the whole invalidation story
+
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(capacity=2)
+        q0, q1, q2 = make_query(0.0), make_query(1.0), make_query(2.0)
+        cache.put(0, q0, make_result())
+        cache.put(0, q1, make_result())
+        cache.put(0, q2, make_result())  # evicts q0
+        assert cache.evictions == 1
+        assert cache.get(0, q0) is None
+        assert cache.get(0, q1) is not None and cache.get(0, q2) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        q0, q1, q2 = make_query(0.0), make_query(1.0), make_query(2.0)
+        cache.put(0, q0, make_result())
+        cache.put(0, q1, make_result())
+        cache.get(0, q0)  # q0 now most-recent; q1 is the LRU victim
+        cache.put(0, q2, make_result())
+        assert cache.get(0, q0) is not None
+        assert cache.get(0, q1) is None
+
+    def test_put_overwrites_in_place(self):
+        cache = ResultCache(capacity=2)
+        q = make_query()
+        cache.put(0, q, make_result(answers=(1,)))
+        cache.put(0, q, make_result(answers=(7, 8)))
+        assert len(cache) == 1
+        assert cache.get(0, q).answers == [7, 8]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(capacity=4, ttl=0.0)
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        now = [100.0]
+        cache = ResultCache(capacity=4, ttl=5.0, clock=lambda: now[0])
+        q = make_query()
+        cache.put(0, q, make_result())
+        now[0] = 104.9
+        assert cache.get(0, q) is not None
+        now[0] = 105.0
+        assert cache.get(0, q) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0  # expired entry removed on sight
+
+    def test_no_ttl_never_expires(self):
+        now = [0.0]
+        cache = ResultCache(capacity=4, clock=lambda: now[0])
+        q = make_query()
+        cache.put(0, q, make_result())
+        now[0] = 1e9
+        assert cache.get(0, q) is not None
+
+
+class TestInvalidation:
+    def test_drop_stale_frees_old_epochs(self):
+        cache = ResultCache(capacity=8)
+        for i, epoch in enumerate((0, 0, 1, 2)):
+            cache.put(epoch, make_query(float(i)), make_result())
+        dropped = cache.drop_stale(2)
+        assert dropped == 3
+        assert len(cache) == 1
+        assert cache.invalidated == 3
+        assert cache.get(2, make_query(3.0)) is not None
+
+    def test_put_below_epoch_floor_is_refused(self):
+        """A result computed at epoch E landing after drop_stale(E+1)
+        must not consume capacity — it could never be served again."""
+        cache = ResultCache(capacity=2)
+        cache.drop_stale(5)
+        cache.put(4, make_query(0.0), make_result())
+        assert len(cache) == 0
+        assert cache.stale_puts == 1
+        assert cache.counters()["stale_puts"] == 1
+        # Puts at (or beyond) the floor still store normally.
+        cache.put(5, make_query(1.0), make_result())
+        assert len(cache) == 1 and cache.stores == 1
+
+    def test_clear(self):
+        cache = ResultCache(capacity=8)
+        cache.put(0, make_query(), make_result())
+        cache.clear()
+        assert len(cache) == 0 and cache.invalidated == 1
+
+    def test_counters_shape(self):
+        cache = ResultCache(capacity=8, ttl=30.0)
+        cache.put(0, make_query(), make_result())
+        cache.get(0, make_query())
+        counters = cache.counters()
+        assert counters["size"] == 1 and counters["capacity"] == 8
+        assert counters["ttl_seconds"] == 30.0
+        assert counters["hits"] == 1 and counters["misses"] == 0
+        assert counters["hit_rate"] == 1.0
+
+
+class TestDefensiveCopies:
+    """The aliasing regression suite (satellite of this PR)."""
+
+    def test_two_hits_never_share_objects(self):
+        cache = ResultCache(capacity=4)
+        q = make_query()
+        cache.put(0, q, make_result())
+        first, second = cache.get(0, q), cache.get(0, q)
+        assert first is not second
+        assert first.answers is not second.answers
+        assert first.stats is not second.stats
+
+    def test_mutating_a_hit_does_not_poison_later_hits(self):
+        cache = ResultCache(capacity=4)
+        q = make_query()
+        cache.put(0, q, make_result(answers=(1, 2, 3), candidates=9))
+        first = cache.get(0, q)
+        # A client merging stats into workload totals, or truncating
+        # answers for display, must only affect its own copy.
+        first.answers.append(999)
+        first.stats.candidates = 12345
+        first.stats.merge(SearchStats(results=7))
+        second = cache.get(0, q)
+        assert second.answers == [1, 2, 3]
+        assert second.stats.candidates == 9
+        assert second.stats.results == 3
+
+    def test_mutating_the_source_after_put_does_not_poison_the_cache(self):
+        cache = ResultCache(capacity=4)
+        q = make_query()
+        original = make_result(answers=(4, 5))
+        cache.put(0, q, original)
+        original.answers.clear()
+        original.stats.results = -1
+        hit = cache.get(0, q)
+        assert hit.answers == [4, 5]
+        assert hit.stats.results == 2
+
+    def test_search_result_copy_is_deep_for_answers_and_stats(self):
+        result = make_result()
+        dup = result.copy()
+        assert dup is not result
+        assert dup.answers == result.answers and dup.answers is not result.answers
+        assert dup.stats is not result.stats
+        assert dup.stats == result.stats
+
+    def test_sharded_result_copies_to_plain_result(self):
+        sharded = ShardedSearchResult(
+            answers=[3, 4],
+            stats=SearchStats(results=2),
+            per_shard=[SearchStats(results=1), SearchStats(results=1)],
+        )
+        dup = sharded.copy()
+        assert type(dup) is SearchResult
+        assert dup.answers == [3, 4]
+        assert dup.stats.results == 2

@@ -36,6 +36,11 @@ through the canonical filter→verify pipeline
   write buffer sealed into immutable segments, deletes as tombstones,
   size-tiered merges, queries fanned over segments through the same
   pipeline (may start empty; amortised O(log n) rebuilds per object).
+* :class:`~repro.exec.DurableSegmentedSealSearch` — the updatable
+  engine behind a write-ahead log (:mod:`repro.io.wal`): mutations
+  logged before applied, ``checkpoint()`` = snapshot + log truncation,
+  :func:`repro.exec.durable.recover` replays ``snapshot + WAL tail``
+  into the exact pre-crash engine.
 
 Executors never change answers — batched and sharded results are
 guaranteed identical to sequential per-query search, and the test suite
@@ -52,6 +57,7 @@ from repro.core.objects import Corpus, Query, SpatioTextualObject, make_corpus
 from repro.core.similarity import spatial_similarity, textual_similarity
 from repro.core.stats import SearchResult, SearchStats
 from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.durable import DurableSegmentedSealSearch
 from repro.exec.pipeline import Executor, SerialExecutor, execute_query
 from repro.exec.segments import SegmentedSealSearch
 from repro.exec.sharded import ShardedSealSearch
@@ -80,6 +86,7 @@ __all__ = [
     "ConfigurationError",
     "Corpus",
     "DeadlineExceeded",
+    "DurableSegmentedSealSearch",
     "EngineManager",
     "Executor",
     "GridFilter",

@@ -12,6 +12,9 @@ Everything the library does, scriptable without writing Python::
         --partition spatial --out sharded.pkl
     seal-repro build corpus.jsonl --method seal --segmented \\
         --out live.pkl
+    seal-repro build corpus.jsonl --method seal --segmented \\
+        --out live.pkl --wal live.wal --wal-sync batch
+    seal-repro recover live.pkl --wal live.wal
     seal-repro query engine.pkl --region 10,10,20,20 --tokens coffee,tea \\
         --tau-r 0.3 --tau-t 0.3
     seal-repro query engine.pkl --queries queries.jsonl
@@ -22,6 +25,7 @@ Everything the library does, scriptable without writing Python::
         --repeat 8 --metrics-out metrics.json
     seal-repro update live.pkl --region 10,10,20,20 --tokens coffee
     seal-repro update live.pkl --from more-objects.jsonl
+    seal-repro update live.pkl --wal live.wal --from more-objects.jsonl
     seal-repro delete live.pkl --oids 3,17
     seal-repro compact live.pkl
     seal-repro sweep corpus.jsonl --methods seal,irtree --axis tau_r
@@ -43,9 +47,12 @@ from repro import Query, Rect, SealError, TokenWeighter, build_method
 from repro.bench import format_series_table, measure_workload, sweep as run_sweep
 from repro.core.engine import METHOD_REGISTRY
 from repro.exec.batch import BatchExecutor
+from repro.exec.durable import DurableSegmentedSealSearch, recover as recover_engine
 from repro.exec.partition import PARTITION_POLICIES
 from repro.exec.segments import SegmentedSealSearch
 from repro.exec.sharded import ShardedSealSearch
+from repro.io.atomic import atomic_write_text
+from repro.io.wal import SYNC_POLICIES, WriteAheadLog
 from repro.service import QueryService
 from repro.datasets import generate_queries, generate_twitter, generate_usa
 from repro.io import load_corpus, load_engine, load_queries, save_corpus, save_engine, save_queries
@@ -127,9 +134,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--merge-fanout", type=int, default=None,
         help="segmented engine: merge when this many segments share a size tier",
     )
+    _add_wal_args(
+        build,
+        wal_help="create a write-ahead log here; the snapshot becomes its "
+                 "checkpoint base (requires --segmented)",
+    )
     for name, type_ in _METHOD_PARAMS.items():
         build.add_argument(f"--{name.replace('_', '-')}", type=type_, default=None)
     build.set_defaults(handler=_cmd_build)
+
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="replay snapshot + WAL tail into the exact pre-crash engine, "
+             "then checkpoint it",
+    )
+    recover_cmd.add_argument("engine", help="checkpoint snapshot path (may not exist yet)")
+    _add_wal_args(recover_cmd, required=True)
+    recover_cmd.add_argument(
+        "--out", help="checkpoint the recovered engine here (default: the snapshot path)"
+    )
+    recover_cmd.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="report only: leave the snapshot and WAL exactly as found",
+    )
+    recover_cmd.set_defaults(handler=_cmd_recover)
 
     update = sub.add_parser(
         "update", help="insert objects into a segmented engine snapshot"
@@ -142,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="JSONL corpus whose objects are all inserted (oids reassigned)",
     )
     update.add_argument("--out", help="write the updated snapshot here (default: in place)")
+    _add_wal_args(update)
     update.set_defaults(handler=_cmd_update)
 
     delete = sub.add_parser(
@@ -150,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     delete.add_argument("engine")
     delete.add_argument("--oids", required=True, help="comma-separated oids to delete")
     delete.add_argument("--out", help="write the updated snapshot here (default: in place)")
+    _add_wal_args(delete)
     delete.set_defaults(handler=_cmd_delete)
 
     compact = sub.add_parser(
@@ -157,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compact.add_argument("engine")
     compact.add_argument("--out", help="write the compacted snapshot here (default: in place)")
+    _add_wal_args(compact)
     compact.set_defaults(handler=_cmd_compact)
 
     query = sub.add_parser("query", help="query an engine snapshot")
@@ -210,6 +241,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="memory-map the snapshot's columnar-array sidecar")
     serve.add_argument("--metrics-out",
                        help="write the metrics JSON here (default: print to stdout)")
+    _add_wal_args(
+        serve,
+        wal_help="recover the engine from snapshot + this WAL before serving, "
+                 "and checkpoint on clean exit",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     sweep_cmd = sub.add_parser("sweep", help="threshold sweep over methods (figure-style table)")
@@ -223,6 +259,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.set_defaults(handler=_cmd_sweep)
 
     return parser
+
+
+def _add_wal_args(parser, *, required: bool = False, wal_help: str | None = None) -> None:
+    """The shared write-ahead-log flags (``--wal``, ``--wal-sync``)."""
+    parser.add_argument(
+        "--wal", required=required,
+        help=wal_help or "write-ahead log path: mutations are logged (durable "
+                         "per --wal-sync) instead of rewriting the snapshot",
+    )
+    parser.add_argument(
+        "--wal-sync", choices=SYNC_POLICIES, default="always",
+        help="WAL durability policy: fsync every append (always), group-commit "
+             "batches (batch), or leave flushing to the OS (none)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +346,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.wal and not args.segmented:
+        print("error: --wal requires --segmented (only the updatable engine "
+              "takes mutations to log)", file=sys.stderr)
+        return 2
     started = time.perf_counter()
     if args.shards is not None:
         engine = ShardedSealSearch(
@@ -323,11 +377,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
         engine = build_method(objects, args.method, **params)
         label = args.method
     elapsed = time.perf_counter() - started
-    save_engine(engine, args.out)
+    wal_note = ""
+    if args.wal:
+        # The build is the WAL's checkpoint base: the corpus lands in the
+        # snapshot, the (empty) log records mutations from here on.
+        wal = WriteAheadLog.create(args.wal, config=engine.config(), sync=args.wal_sync)
+        durable = DurableSegmentedSealSearch(engine, wal, snapshot_path=args.out)
+        durable.checkpoint()
+        durable.close()
+        wal_note = f", WAL at {args.wal} ({args.wal_sync} sync)"
+    else:
+        save_engine(engine, args.out)
     report = engine.index_size()
     size = f", index {report.total_mb:.2f} MB" if report is not None else ""
     print(f"built {label} over {len(objects)} objects in {elapsed:.1f}s{size}; "
-          f"snapshot at {args.out}")
+          f"snapshot at {args.out}{wal_note}")
     return 0
 
 
@@ -361,7 +425,34 @@ def _load_segmented(path: str):
     return engine
 
 
-def _segmented_summary(engine: SegmentedSealSearch) -> str:
+def _open_for_update(args: argparse.Namespace):
+    """The engine an update command mutates.
+
+    Without ``--wal``: the plain snapshot engine (the command rewrites
+    the whole snapshot afterwards).  With ``--wal``: the engine
+    recovered from ``snapshot + WAL tail`` — mutations then append to
+    the log at O(1) cost and the snapshot is left alone (the durability
+    win), unless ``--out`` asks for a checkpoint.
+    """
+    if args.wal:
+        return recover_engine(args.engine, args.wal, sync=args.wal_sync)
+    return _load_segmented(args.engine)
+
+
+def _persist_updated(engine, args: argparse.Namespace) -> str:
+    """Make an update command's mutations durable; returns a note."""
+    if isinstance(engine, DurableSegmentedSealSearch):
+        if args.out:
+            engine.checkpoint(args.out)
+            engine.close()
+            return f"; checkpointed to {args.out} (WAL truncated)"
+        engine.close()  # syncs pending appends
+        return f"; logged to {args.wal} (snapshot unchanged)"
+    save_engine(engine, args.out or args.engine)
+    return ""
+
+
+def _segmented_summary(engine) -> str:
     return (
         f"{len(engine)} live objects, {engine.num_segments} segments, "
         f"{engine.pending} buffered, {engine.tombstones} tombstones"
@@ -369,7 +460,7 @@ def _segmented_summary(engine: SegmentedSealSearch) -> str:
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
-    engine = _load_segmented(args.engine)
+    engine = _open_for_update(args)
     if engine is None:
         return 2
     if not args.from_corpus and not args.region and args.tokens is None:
@@ -394,14 +485,14 @@ def _cmd_update(args: argparse.Namespace) -> int:
               f"{_segmented_summary(engine)}")
         return 0
     oids = [engine.insert(region, tokens) for region, tokens in inserts]
-    save_engine(engine, args.out or args.engine)
+    note = _persist_updated(engine, args)
     span = f"oid {oids[0]}" if len(oids) == 1 else f"oids {oids[0]}..{oids[-1]}"
-    print(f"inserted {len(oids)} objects ({span}); {_segmented_summary(engine)}")
+    print(f"inserted {len(oids)} objects ({span}); {_segmented_summary(engine)}{note}")
     return 0
 
 
 def _cmd_delete(args: argparse.Namespace) -> int:
-    engine = _load_segmented(args.engine)
+    engine = _open_for_update(args)
     if engine is None:
         return 2
     try:
@@ -415,23 +506,52 @@ def _cmd_delete(args: argparse.Namespace) -> int:
     deleted, missing = [], []
     for oid in oids:
         (deleted if engine.delete(oid) else missing).append(oid)
-    if deleted or args.out:
-        # Nothing deleted and no explicit destination: skip the rewrite.
-        save_engine(engine, args.out or args.engine)
+    if deleted or args.out or args.wal:
+        # Nothing deleted, no destination, no log: skip the rewrite.
+        persist_note = _persist_updated(engine, args)
+    else:
+        persist_note = ""
     note = f" (not live: {missing})" if missing else ""
-    print(f"deleted {len(deleted)} objects{note}; {_segmented_summary(engine)}")
+    print(f"deleted {len(deleted)} objects{note}; "
+          f"{_segmented_summary(engine)}{persist_note}")
     return 0
 
 
 def _cmd_compact(args: argparse.Namespace) -> int:
-    engine = _load_segmented(args.engine)
+    engine = _open_for_update(args)
     if engine is None:
         return 2
     started = time.perf_counter()
     engine.compact()
     elapsed = time.perf_counter() - started
-    save_engine(engine, args.out or args.engine)
-    print(f"compacted in {elapsed:.1f}s; {_segmented_summary(engine)}")
+    note = _persist_updated(engine, args)
+    print(f"compacted in {elapsed:.1f}s; {_segmented_summary(engine)}{note}")
+    return 0
+
+
+def _recovery_summary(engine: DurableSegmentedSealSearch) -> str:
+    report = engine.recovery
+    torn = (
+        f", {report['torn_bytes_dropped']} torn tail bytes dropped"
+        if report["torn_bytes_dropped"]
+        else ""
+    )
+    return (
+        f"recovered {report['live']} live objects from {report['source']} "
+        f"({report['records_replayed']} WAL records replayed{torn})"
+    )
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    engine = recover_engine(args.engine, args.wal, sync=args.wal_sync)
+    print(f"{_recovery_summary(engine)}; {_segmented_summary(engine)}")
+    if args.no_checkpoint:
+        engine.close()
+        return 0
+    target = args.out or args.engine
+    engine.checkpoint(target)
+    engine.close()
+    print(f"checkpointed to {target}; WAL {args.wal} truncated")
     return 0
 
 
@@ -514,7 +634,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
-    engine = load_engine(args.engine, mmap=args.mmap)
+    if args.wal:
+        engine = recover_engine(args.engine, args.wal, sync=args.wal_sync, mmap=args.mmap)
+        print(_recovery_summary(engine))
+    else:
+        engine = load_engine(args.engine, mmap=args.mmap)
     queries = load_queries(args.queries)
     if not queries:
         print("error: the workload file holds no queries", file=sys.stderr)
@@ -557,7 +681,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - started
+    if args.wal and not failures:
+        # Clean shutdown is the natural checkpoint boundary: the replayed
+        # tail (and any recovery repair) lands in the snapshot and the
+        # log resets — the next recovery starts from here.
+        service.checkpoint()
+        print(f"checkpointed to {engine.snapshot_path}; WAL {args.wal} truncated")
     service.close()
+    if args.wal:
+        engine.close()
     if failures:
         print(f"error: {len(failures)} client(s) failed: {failures[0]}", file=sys.stderr)
         return 2
@@ -566,8 +698,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(_service_summary(service))
     metrics_text = service.metrics_json()
     if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(metrics_text + "\n")
+        # Atomic + fsynced: a crash mid-write must never leave truncated
+        # JSON for whatever scrapes this file.
+        atomic_write_text(args.metrics_out, metrics_text + "\n")
         print(f"metrics JSON written to {args.metrics_out}")
     else:
         print(metrics_text)

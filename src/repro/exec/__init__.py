@@ -12,6 +12,9 @@
   updatable engine (write buffer + immutable segments + tombstones with
   size-tiered merges), searches fanned over segments through the same
   pipeline.
+* :mod:`repro.exec.durable` — :class:`DurableSegmentedSealSearch`: the
+  segmented engine behind a write-ahead log — mutations logged before
+  applied, checkpoint/recovery via ``snapshot + WAL tail``.
 
 Every executor preserves exact answer semantics: batching and sharding
 change *throughput*, never results.
@@ -25,6 +28,7 @@ __all__ = [
     "BatchExecutor",
     "BatchResult",
     "BatchStats",
+    "DurableSegmentedSealSearch",
     "Executor",
     "PARTITION_POLICIES",
     "SegmentedSealSearch",
@@ -33,6 +37,7 @@ __all__ = [
     "ShardedSearchResult",
     "execute_query",
     "get_partition_policy",
+    "recover",
     "shutdown_shared_pool",
 ]
 
@@ -40,9 +45,11 @@ __all__ = [
 #: imports the method base class, which imports this package — so eager
 #: import here would cycle.  Lazy resolution breaks the loop.
 _LAZY = {
+    "DurableSegmentedSealSearch": "repro.exec.durable",
     "SegmentedSealSearch": "repro.exec.segments",
     "ShardedSealSearch": "repro.exec.sharded",
     "ShardedSearchResult": "repro.exec.sharded",
+    "recover": "repro.exec.durable",
     "shutdown_shared_pool": "repro.exec.sharded",
 }
 

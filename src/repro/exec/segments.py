@@ -461,6 +461,31 @@ class SegmentedSealSearch:
         return len(self._buffer)
 
     @property
+    def next_oid(self) -> int:
+        """The oid the next :meth:`insert` will assign.
+
+        The durability layer logs it ahead of the insert so recovery can
+        verify replay assigns identical oids (oids are sequential and
+        never reused, so the sequence is deterministic from the op log).
+        """
+        return self._next_oid
+
+    def config(self) -> dict:
+        """The constructor knobs that rebuild an equivalent empty engine.
+
+        The write-ahead log stores this as its first record, which makes
+        a WAL self-describing: recovery can bootstrap from an empty
+        engine with identical sealing/merging behavior even when no
+        snapshot exists yet.
+        """
+        return {
+            "method": self._method_name,
+            "buffer_capacity": self.buffer_capacity,
+            "merge_fanout": self.merge_fanout,
+            "params": dict(self._params),
+        }
+
+    @property
     def tombstones(self) -> int:
         """Deleted objects still physically present in a segment."""
         return len(self._tombstones)

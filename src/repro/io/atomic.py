@@ -1,0 +1,77 @@
+"""Crash-safe file replacement: fsync + rename + directory fsync.
+
+``os.replace`` alone is *not* atomic across power loss.  POSIX only
+promises the rename is atomic with respect to concurrent *observers*;
+it says nothing about the renamed file's contents having reached the
+device, nor about the directory entry itself surviving a crash.  After
+power loss an "atomically replaced" file can surface as zero-length,
+hold stale bytes, or be missing entirely.  The full recipe is:
+
+1. write the payload to a temp file in the same directory;
+2. flush and ``os.fsync`` the temp file — the *data* hits the device;
+3. ``os.replace`` the temp file onto the destination — atomic name swap;
+4. ``os.fsync`` the parent directory — the *rename* hits the device.
+
+Every durable write path in this library (engine snapshots, their array
+sidecars, WAL headers, the CLI's metrics JSON) goes through these
+helpers so the discipline lives in one place.
+
+Directory fsync is best-effort: some filesystems reject ``open(2)`` or
+``fsync(2)`` on directories (certain network and overlay mounts).  A
+failure there degrades gracefully — the write is still atomic against
+process crashes, just not guaranteed against power loss — instead of
+breaking saves on those filesystems.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, IO, Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Best-effort fsync of a directory's entry table (step 4)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_durably(temp: PathLike, target: PathLike) -> None:
+    """``os.replace`` plus the parent-directory fsync that makes the
+    rename itself survive power loss (steps 3-4).  The temp file's
+    contents must already be fsynced (the writer's job — see
+    :func:`atomic_write`)."""
+    os.replace(temp, target)
+    fsync_directory(Path(target).resolve().parent)
+
+
+def atomic_write(path: PathLike, writer: Callable[[IO[bytes]], object]) -> None:
+    """Run ``writer(handle)`` against a temp file, fsync it, and durably
+    replace ``path`` with it — the full four-step recipe."""
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with temp.open("wb") as handle:
+        writer(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    replace_durably(temp, path)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Durably replace ``path`` with ``data``."""
+    atomic_write(path, lambda handle: handle.write(data))
+
+
+def atomic_write_text(path: PathLike, text: str, *, encoding: str = "utf-8") -> None:
+    """Durably replace ``path`` with ``text`` (UTF-8 by default)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -30,6 +30,17 @@ segment's posting payload in place.  Engines without a manifest (plain
 methods, sharded engines) store ``manifest: None`` and behave exactly
 as before.
 
+**Format 5** adds the durability layer: a snapshot written as a WAL
+*checkpoint* (:meth:`~repro.exec.durable.DurableSegmentedSealSearch.
+checkpoint`) records the checkpoint's WAL position — ``{"generation",
+"offset"}`` — in a ``wal`` envelope block, which is what lets recovery
+align ``snapshot + WAL tail`` without double-applying logged operations
+(see :mod:`repro.io.wal`).  Plain ``save_engine`` stores ``wal: None``.
+Every write path now follows the full crash-safe recipe from
+:mod:`repro.io.atomic` — fsync the temp file, atomic rename, fsync the
+parent directory — because ``os.replace`` alone does not survive power
+loss (the rename can surface as a zero-length or missing file).
+
 Snapshot + sidecar travel as a pair: move or rename them together.
 
 For untrusted interchange use the JSONL corpus format and rebuild.
@@ -37,13 +48,13 @@ For untrusted interchange use the JSONL corpus format and rebuild.
 
 from __future__ import annotations
 
-import os
 import pickle
 import zipfile
 from pathlib import Path
 from typing import Any, List
 
 from repro.core.errors import SealError
+from repro.io.atomic import atomic_write, fsync_directory
 from repro.index.columnar import externalize_arrays, resolve_arrays
 
 try:  # pragma: no cover - exercised implicitly by every snapshot test
@@ -60,7 +71,10 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
 #: 4: segmented updatable engines — a snapshot manifest block (segment /
 #:    tombstone accounting) in the envelope; formats 1–3 predate the
 #:    update subsystem and are rejected.
-SNAPSHOT_FORMAT = 4
+#: 5: durability layer — a ``wal`` envelope block recording the WAL
+#:    checkpoint position (``None`` outside checkpoints); format 4
+#:    predates WAL alignment and is rejected.
+SNAPSHOT_FORMAT = 5
 
 _MAGIC = "repro-seal-snapshot"
 
@@ -75,12 +89,25 @@ def sidecar_path(path: "str | Path") -> Path:
     return path.with_name(path.name + ".npz")
 
 
-def save_engine(engine: Any, path: str | Path) -> None:
+def save_engine(
+    engine: Any, path: str | Path, *, wal_position: "dict | None" = None
+) -> None:
     """Snapshot any engine/method object to ``path``.
 
     Columnar posting arrays are written to :func:`sidecar_path` as an
     uncompressed ``.npz``; a stale sidecar from a previous save is
-    removed when the new engine has none.
+    removed when the new engine has none.  Both writes follow the full
+    crash-safe recipe (temp fsync + atomic rename + directory fsync —
+    :mod:`repro.io.atomic`), so after power loss the path holds either
+    the previous complete snapshot or the new one, never a truncated or
+    missing file.
+
+    Args:
+        engine: Any engine/method the library builds.
+        path: Snapshot destination.
+        wal_position: The WAL checkpoint position (``{"generation",
+            "offset"}``) when this save is a durability checkpoint —
+            recovery aligns replay on it.  ``None`` for plain saves.
     """
     from repro import __version__
 
@@ -97,6 +124,9 @@ def save_engine(engine: Any, path: str | Path) -> None:
         # segment/tombstone accounting into the envelope, readable via
         # read_manifest without touching the engine blob.
         "manifest": manifest_fn() if callable(manifest_fn) else None,
+        # The WAL checkpoint position this snapshot was taken at, or
+        # None outside the durability layer (see repro.io.wal).
+        "wal": dict(wal_position) if wal_position is not None else None,
         "num_arrays": len(arrays),
         # Per-array (dtype, shape) fingerprints: loads check the sidecar
         # against these, so a snapshot paired with a stale sidecar (e.g.
@@ -112,27 +142,30 @@ def save_engine(engine: Any, path: str | Path) -> None:
     sidecar = sidecar_path(path)
     if arrays:
         # np.savez stores members uncompressed (ZIP_STORED), which is
-        # what lets the mmap loader map them in place.  Write to a temp
-        # file and atomically replace: writing the sidecar in place would
-        # truncate the very file an mmap-loaded engine's arrays are
-        # mapped from (re-saving such an engine to its own path would
-        # otherwise crash with SIGBUS mid-write).
-        temp = sidecar.with_name(sidecar.name + ".tmp")
-        with temp.open("wb") as handle:  # handle, so np.savez can't re-suffix
-            _np.savez(handle, **{f"a{i}": array for i, array in enumerate(arrays)})
-        os.replace(temp, sidecar)
+        # what lets the mmap loader map them in place.  The atomic
+        # replace also means the write never truncates the very file an
+        # mmap-loaded engine's arrays are mapped from (re-saving such an
+        # engine to its own path used to crash with SIGBUS mid-write).
+        atomic_write(
+            sidecar,
+            # A real handle, so np.savez can't re-suffix the filename.
+            lambda handle: _np.savez(
+                handle, **{f"a{i}": array for i, array in enumerate(arrays)}
+            ),
+        )
     # The snapshot write is atomic too: a crash mid-dump must not destroy
     # the previous good snapshot (and the fingerprint guard above assumes
     # the snapshot on disk is always a complete envelope).
-    temp = path.with_name(path.name + ".tmp")
-    with temp.open("wb") as handle:
-        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(temp, path)
+    atomic_write(
+        path,
+        lambda handle: pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL),
+    )
     if not arrays and sidecar.exists():
         # Remove a stale sidecar only once the new snapshot is safely in
         # place — a crash before this line leaves the new (sidecar-less)
         # snapshot, which loads fine and ignores the leftover file.
         sidecar.unlink()
+        fsync_directory(path.resolve().parent)
 
 
 def load_engine(path: str | Path, *, mmap: bool = False) -> Any:
@@ -195,7 +228,8 @@ def validate_snapshot(path: str | Path) -> dict:
 
     Returns:
         The envelope metadata: ``format``, ``library_version``,
-        ``manifest`` (segment/tombstone accounting or ``None``) and
+        ``manifest`` (segment/tombstone accounting or ``None``),
+        ``wal`` (the checkpoint's WAL position or ``None``) and
         ``num_arrays``.
 
     Raises:
@@ -216,6 +250,7 @@ def validate_snapshot(path: str | Path) -> dict:
         "format": envelope.get("format"),
         "library_version": envelope.get("library_version"),
         "manifest": envelope.get("manifest"),
+        "wal": envelope.get("wal"),
         "num_arrays": envelope.get("num_arrays", 0),
     }
 

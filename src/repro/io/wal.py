@@ -1,0 +1,514 @@
+"""Write-ahead log: append-only, length-prefixed, checksummed records.
+
+The segmented engine buffers inserts in memory and tombstones deletes
+lazily, so everything since the last snapshot save dies with the
+process.  The WAL closes that window the way every storage engine does:
+each mutation is appended (and, per the sync policy, fsynced) *before*
+it is applied, and recovery replays ``snapshot + WAL tail`` to
+reconstruct exactly the pre-crash engine (see
+:mod:`repro.exec.durable`).
+
+**On-disk layout.**  A fixed header followed by a flat record stream::
+
+    header : magic (8 bytes) | format u32 | generation u64     = 20 bytes
+    record : payload-length u32 | crc32(payload) u32 | payload
+
+Payloads are canonical JSON objects (sorted keys, no whitespace) with an
+``"op"`` field.  The first record is always a ``config`` record carrying
+the engine's constructor knobs, so a WAL is self-describing: recovery
+can bootstrap an equivalent empty engine even when the snapshot file is
+gone (possible only while ``generation == 0`` — see below).
+
+**Generations and checkpoints.**  ``generation`` counts checkpoints.  A
+checkpoint captures ``(generation, position)`` into the snapshot
+envelope *before* :meth:`WriteAheadLog.reset` truncates the log to a
+fresh header at ``generation + 1``.  Recovery aligns the two files by
+that pair: same generation → replay from the recorded offset (the reset
+never happened — nothing to double-apply); generation exactly one ahead
+→ replay the whole log (the reset happened — the log holds only
+post-checkpoint records); anything else → the files are not from the
+same lineage and recovery fails loudly.
+
+**Torn tails.**  A crash mid-append leaves a partial frame: a short
+header, a short payload, or a checksum mismatch.  :func:`read_wal` stops
+at the first invalid record and reports the dropped byte count;
+:meth:`WriteAheadLog.open` truncates that tail away before appending
+(appending after garbage would corrupt the log for the *next* reader).
+Records behind a sync barrier — everything the chosen policy fsynced —
+always parse, so an acknowledged-durable operation is never dropped.  A
+checksum failure *before* the last sync barrier means fsynced data was
+lost; the alignment checks in :mod:`repro.exec.durable` surface that as
+a loud error rather than a silent truncation.
+
+**Sync policies** (the durability/throughput dial):
+
+* ``always`` — fsync after every append.  An operation is durable the
+  moment ``append`` returns; one fsync per mutation.
+* ``batch``  — group commit: fsync every ``group_size`` appends and on
+  every explicit :meth:`sync` (checkpoints and close force one).  The
+  classic throughput trade — a crash can lose at most the last
+  unsynced group of *acknowledged-to-caller-but-unsynced* operations.
+* ``none``   — never fsync on append (the OS flushes on its schedule);
+  only checkpoints, :meth:`sync` and :meth:`close` force durability.
+
+The appender is single-writer by design (the service serializes
+mutations behind the :class:`~repro.service.manager.EngineManager`
+write lock); an internal lock still guards it so misuse degrades to
+serialization, not corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.errors import SealError
+from repro.io.atomic import atomic_write_bytes
+
+#: Bump when the WAL header or frame layout changes incompatibly.
+WAL_FORMAT = 1
+
+#: Sync policies accepted by :class:`WriteAheadLog` (see module docs).
+SYNC_POLICIES = ("always", "batch", "none")
+
+#: Appends per fsync under the ``batch`` (group commit) policy.
+DEFAULT_GROUP_SIZE = 32
+
+_MAGIC = b"SEALWAL\x00"
+_HEADER = struct.Struct("<8sIQ")  # magic, format, generation
+_FRAME = struct.Struct("<II")  # payload byte length, crc32(payload)
+
+
+class WALError(SealError, RuntimeError):
+    """A WAL file is missing, corrupt beyond its torn tail, or
+    misaligned with its checkpoint snapshot."""
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded record plus the byte offset of its frame."""
+
+    offset: int
+    payload: Dict
+
+
+@dataclass(frozen=True)
+class WALContents:
+    """A fully scanned WAL: every intact record plus tail accounting."""
+
+    path: Path
+    generation: int
+    records: List[WALRecord]
+    #: Byte offset just past the last intact record.
+    good_end: int
+    #: Torn/corrupt bytes past ``good_end`` (0 on a clean log).
+    trailing_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        return self.trailing_bytes > 0
+
+    @property
+    def config(self) -> Optional[Dict]:
+        """The engine-config record, when present (always first)."""
+        if self.records and self.records[0].payload.get("op") == "config":
+            return self.records[0].payload
+        return None
+
+    @property
+    def parent_checkpoint(self) -> Optional[Dict]:
+        """The ``(generation, offset)`` of the checkpoint whose reset
+        created this log, or ``None`` for a generation-0 log.
+
+        Recovery matches this against the snapshot's recorded position:
+        a WAL one generation ahead of a snapshot is only that
+        snapshot's post-checkpoint tail if the *same* checkpoint reset
+        it — without the marker, a snapshot orphaned by checkpointing
+        its shared WAL to another path would silently replay as empty.
+        """
+        config = self.config
+        return config.get("checkpoint") if config else None
+
+    def operations(self, start: int = 0) -> List[WALRecord]:
+        """Non-config records whose frames start at or after ``start``."""
+        return [
+            record
+            for record in self.records
+            if record.offset >= start and record.payload.get("op") != "config"
+        ]
+
+
+def _encode(record: Dict) -> bytes:
+    if not isinstance(record, dict) or "op" not in record:
+        raise WALError(f"WAL records are dicts with an 'op' field, got {record!r}")
+    return json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_wal(path: Union[str, Path]) -> WALContents:
+    """Scan a WAL into records, tolerating (and measuring) a torn tail.
+
+    Raises:
+        WALError: The file is missing, too short for a header, carries
+            the wrong magic or format, or holds a checksummed record
+            that does not decode (a writer bug, never a torn write —
+            the checksum proves the bytes are exactly what was written).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WALError(f"WAL not found: {path}")
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        raise WALError(f"{path} is too short to hold a WAL header")
+    magic, fmt, generation = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise WALError(f"{path} is not a repro WAL file")
+    if fmt != WAL_FORMAT:
+        raise WALError(
+            f"{path} uses WAL format {fmt}, this library reads format {WAL_FORMAT}"
+        )
+    records: List[WALRecord] = []
+    offset = _HEADER.size
+    good_end = offset
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            break  # torn frame header
+        length, crc = _FRAME.unpack_from(data, offset)
+        start, end = offset + _FRAME.size, offset + _FRAME.size + length
+        if end > len(data):
+            break  # torn payload
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn or bit-flipped; nothing past this point is trusted
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WALError(
+                f"{path}: record at offset {offset} is checksummed but does not "
+                f"decode ({exc}); this is writer corruption, not a torn tail"
+            ) from exc
+        if not isinstance(decoded, dict) or "op" not in decoded:
+            raise WALError(
+                f"{path}: record at offset {offset} is not an operation object"
+            )
+        records.append(WALRecord(offset=offset, payload=decoded))
+        offset = end
+        good_end = end
+    return WALContents(
+        path=path,
+        generation=generation,
+        records=records,
+        good_end=good_end,
+        trailing_bytes=len(data) - good_end,
+    )
+
+
+class WriteAheadLog:
+    """The single-writer appender (see the module docstring for format,
+    generations and sync-policy semantics).
+
+    Construct via :meth:`create` (fresh log, refuses to overwrite) or
+    :meth:`open` (existing log; truncates any torn tail first).  Exposes
+    ``appends`` and ``syncs`` counters so tests and the overhead bench
+    can observe the group-commit behavior directly.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        handle,
+        *,
+        generation: int,
+        position: int,
+        sync: str,
+        group_size: int,
+        config: Optional[Dict],
+    ) -> None:
+        self.path = Path(path)
+        self._handle = handle
+        self._generation = generation
+        self._position = position
+        self._sync_policy = sync
+        self._group_size = group_size
+        self._config = dict(config) if config else None
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+        self.appends = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_options(sync: str, group_size: int) -> None:
+        if sync not in SYNC_POLICIES:
+            raise WALError(f"unknown WAL sync policy {sync!r}; use one of {SYNC_POLICIES}")
+        if group_size < 1:
+            raise WALError("WAL group_size must be a positive int")
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, Path],
+        *,
+        config: Dict,
+        sync: str = "always",
+        group_size: int = DEFAULT_GROUP_SIZE,
+    ) -> "WriteAheadLog":
+        """A fresh generation-0 WAL holding only the config record.
+
+        Refuses an existing path: silently restarting a log that may
+        hold unreplayed operations is exactly the data loss a WAL
+        exists to prevent — recover it or remove it explicitly.
+        """
+        cls._check_options(sync, group_size)
+        path = Path(path)
+        if path.exists():
+            raise WALError(
+                f"refusing to overwrite existing WAL {path}; recover it first "
+                "or remove it explicitly"
+            )
+        cls._write_fresh(path, generation=0, config=config)
+        handle = path.open("r+b")
+        handle.seek(0, os.SEEK_END)
+        return cls(
+            path, handle, generation=0, position=handle.tell(),
+            sync=sync, group_size=group_size, config=config,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        *,
+        sync: str = "always",
+        group_size: int = DEFAULT_GROUP_SIZE,
+        contents: Optional[WALContents] = None,
+    ) -> "WriteAheadLog":
+        """Open an existing WAL for appending.
+
+        Any torn tail is truncated away (and fsynced) first: appending
+        after garbage would hide valid-looking records behind an invalid
+        one and corrupt the log for the next reader.  A caller that
+        already scanned the file (recovery) passes its ``contents`` to
+        skip the second full read + checksum pass.
+        """
+        cls._check_options(sync, group_size)
+        if contents is None:
+            contents = read_wal(path)
+        path = Path(path)
+        handle = path.open("r+b")
+        try:
+            if contents.trailing_bytes:
+                handle.truncate(contents.good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            handle.seek(contents.good_end)
+        except BaseException:
+            handle.close()
+            raise
+        config = contents.config
+        if config is not None:
+            config = {
+                key: value
+                for key, value in config.items()
+                if key not in ("op", "checkpoint")
+            }
+        return cls(
+            path, handle, generation=contents.generation, position=contents.good_end,
+            sync=sync, group_size=group_size, config=config,
+        )
+
+    @staticmethod
+    def _write_fresh(
+        path: Path,
+        *,
+        generation: int,
+        config: Optional[Dict],
+        parent: Optional[Dict] = None,
+    ) -> None:
+        """Durably (re)place ``path`` with a header + config record.
+
+        ``parent`` is the checkpoint ``(generation, offset)`` whose
+        reset produced this log (see ``WALContents.parent_checkpoint``).
+        """
+        blob = _HEADER.pack(_MAGIC, WAL_FORMAT, generation)
+        if config is not None:
+            record = dict(config, op="config")
+            if parent is not None:
+                record["checkpoint"] = dict(parent)
+            blob += _frame(_encode(record))
+        atomic_write_bytes(path, blob)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, record: Dict) -> int:
+        """Append one operation record; returns its frame's byte offset.
+
+        Durability on return is governed by the sync policy; the bytes
+        always reach the OS (``flush``) so a same-machine reader — or a
+        post-crash recovery, minus unsynced pages — sees them.
+        """
+        frame = _frame(_encode(record))
+        with self._lock:
+            self._ensure_open()
+            offset = self._position
+            self._handle.write(frame)
+            self._position += len(frame)
+            self.appends += 1
+            self._pending += 1
+            if self._sync_policy == "always" or (
+                self._sync_policy == "batch" and self._pending >= self._group_size
+            ):
+                self._fsync_locked()
+            else:
+                self._handle.flush()
+        return offset
+
+    def sync(self) -> None:
+        """Force pending appends to the device (a group-commit barrier)."""
+        with self._lock:
+            self._ensure_open()
+            if self._pending:
+                self._fsync_locked()
+
+    def rollback(self, offset: int) -> None:
+        """Truncate the log back to ``offset`` — the compensation for a
+        mutation whose *apply* failed after its append succeeded.
+
+        Without this, a surviving process whose engine rejected an
+        operation would keep serving answers that diverge from what a
+        post-crash replay reconstructs.  Only the tail may be rolled
+        back (``offset`` must be a frame boundary at or past the
+        header, before the current position); the truncation is fsynced
+        so the removed record cannot resurface after a crash.
+        """
+        with self._lock:
+            self._ensure_open()
+            if not _HEADER.size <= offset <= self._position:
+                raise WALError(
+                    f"cannot roll {self.path} back to byte {offset} "
+                    f"(log spans {_HEADER.size}..{self._position})"
+                )
+            self._handle.flush()
+            self._handle.truncate(offset)
+            self._handle.seek(offset)
+            os.fsync(self._handle.fileno())
+            self.syncs += 1
+            self._position = offset
+            self._pending = 0
+
+    def _fsync_locked(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.syncs += 1
+        self._pending = 0
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise WALError(f"WAL {self.path} is closed")
+
+    # ------------------------------------------------------------------
+    # Checkpoint support and lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self, *, parent: Optional[Dict] = None) -> int:
+        """Truncate to a fresh header at ``generation + 1``.
+
+        Called by the checkpoint *after* the snapshot (which recorded
+        the pre-reset ``(generation, position)``) is durably on disk —
+        the replacement is itself durable (temp + fsync + rename +
+        directory fsync), so a crash at any instant leaves either the
+        old full log or the new empty one, never a hybrid.  The caller
+        passes the checkpoint position as ``parent`` so the fresh log
+        names the exact checkpoint it continues (the lineage marker
+        recovery matches against the snapshot).
+
+        The old handle is swapped only after the replacement file is
+        durably in place: a failure mid-reset (disk full, permissions)
+        leaves the appender open on the intact old log, not half-closed.
+        Returns the new generation.
+        """
+        with self._lock:
+            self._ensure_open()
+            generation = self._generation + 1
+            self._write_fresh(
+                self.path, generation=generation, config=self._config, parent=parent
+            )
+            old_handle = self._handle
+            try:
+                self._handle = self.path.open("r+b")
+            except BaseException:
+                # The name now points at the fresh log but we cannot
+                # append to it; mark the appender unusable (close() is
+                # then a no-op) rather than half-open.
+                self._closed = True
+                old_handle.close()
+                raise
+            old_handle.close()
+            self._generation = generation
+            self._handle.seek(0, os.SEEK_END)
+            self._position = self._handle.tell()
+            self._pending = 0
+            return generation
+
+    def close(self) -> None:
+        """Sync pending appends and release the handle (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._pending:
+                self._fsync_locked()
+            self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Byte offset one past the last appended record."""
+        return self._position
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def sync_policy(self) -> str:
+        return self._sync_policy
+
+    @property
+    def config(self) -> Optional[Dict]:
+        """The engine-config record this log carries (a copy)."""
+        return dict(self._config) if self._config else None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog(path={str(self.path)!r}, generation={self._generation}, "
+            f"position={self._position}, sync={self._sync_policy!r})"
+        )

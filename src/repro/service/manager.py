@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, List, Tuple
 
 from repro.core.errors import ServiceError
+from repro.exec.durable import recover as recover_durable_engine
 from repro.geometry import Rect
 from repro.io.snapshot import load_engine, validate_snapshot
 
@@ -115,6 +117,9 @@ class EngineManager:
         on_epoch_bump: Callable[[int], None] | None = None,
     ) -> None:
         self._lock = _ReadWriteLock()
+        # Serializes checkpoints against each other without excluding
+        # readers (a checkpoint is answer-preserving; see checkpoint()).
+        self._checkpoint_lock = threading.Lock()
         self._current: Tuple[Any, int] = (engine, 0)
         self._epoch_listeners: List[Callable[[int], None]] = []
         if on_epoch_bump is not None:
@@ -241,6 +246,95 @@ class EngineManager:
             flush()
             if before is None or getattr(engine, "compactions", None) != before:
                 self._bump(engine)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path=None):
+        """Durable WAL checkpoint of the live engine (durable engines only).
+
+        Runs under the *shared* lock: a checkpoint never changes answers
+        (the live set and weighter are untouched), so queries keep
+        flowing while the snapshot writes; mutators wait — exactly the
+        exclusion the snapshot pickling needs (the save cannot run
+        off-lock: serialising an engine a mutator is changing would
+        corrupt the snapshot).  Honest caveat on a *mixed* workload:
+        the RW lock is writer-preferring, so a mutator arriving mid-
+        checkpoint queues new readers behind it until the checkpoint's
+        disk write finishes — pure-read traffic is unaffected.
+        Concurrent checkpoints (and recoveries) serialize on a
+        dedicated mutex.  The epoch does not move, by the same argument
+        that keeps plain ``flush`` bump-free: cached results stay valid
+        across a checkpoint.
+
+        Returns the snapshot path written.
+
+        Raises:
+            ServiceError: The engine has no ``checkpoint`` (it is not
+                wrapped by the durability layer).
+        """
+        with self._checkpoint_lock:
+            with self._lock.reading():
+                engine = self._current[0]
+                op = getattr(engine, "checkpoint", None)
+                if op is None:
+                    raise ServiceError(
+                        f"{type(engine).__name__} does not support checkpoint; "
+                        "serve a durable engine (build --wal / recover()) for "
+                        "WAL checkpoints"
+                    )
+                return op(path) if path is not None else op()
+
+    def recover(self, snapshot_path, wal_path, *, mmap: bool = False,
+                sync: str = "always") -> int:
+        """Hot-swap to the engine recovered from ``snapshot + WAL tail``.
+
+        Replay runs entirely *off-lock* — traffic keeps flowing on the
+        old engine, and a recovery failure (torn snapshot, misaligned
+        WAL) raises loudly while the old engine keeps serving, exactly
+        like :meth:`load_snapshot`.  The final reference flip bumps the
+        epoch, so every cached pre-recovery answer is invalidated by
+        construction.
+
+        Refused when the *live* engine still owns an open appender on
+        the same WAL file: recovery would open a second writer whose
+        appends land at a stale offset, overwriting records the live
+        engine already fsync-acknowledged.  Checkpoint or close the
+        live engine first.  Recoveries serialize with each other (and
+        with checkpoints) on the checkpoint mutex, and the guard is
+        re-validated under the write lock at the reference flip — a
+        concurrent ``swap`` installing a durable engine on the same
+        WAL mid-replay is caught there, not just at entry.
+
+        Returns the new epoch.
+        """
+
+        def guard() -> None:
+            live_wal = getattr(self._current[0], "wal", None)
+            if (
+                live_wal is not None
+                and not getattr(live_wal, "closed", True)
+                and Path(wal_path).resolve() == Path(live_wal.path).resolve()
+            ):
+                raise ServiceError(
+                    f"the live engine still holds an open appender on {wal_path}; "
+                    "recovering from it would put two writers on one log — "
+                    "checkpoint or close the live engine first"
+                )
+
+        with self._checkpoint_lock:
+            guard()  # fail fast before paying for the replay
+            engine = recover_durable_engine(
+                snapshot_path, wal_path, mmap=mmap, sync=sync
+            )
+            with self._lock.writing():
+                try:
+                    guard()  # re-validate: a swap may have raced the replay
+                except ServiceError:
+                    engine.close()  # release the just-opened appender
+                    raise
+                return self._bump(engine)
 
     # ------------------------------------------------------------------
     # Hot swap

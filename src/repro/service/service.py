@@ -274,6 +274,18 @@ class QueryService:
         """Hot-swap to a pre-validated snapshot loaded off-lock."""
         return self._manager.load_snapshot(path, mmap=mmap)
 
+    def checkpoint(self, path=None):
+        """Durable WAL checkpoint of the live engine (durable engines
+        only): answer-preserving, concurrent with queries, no epoch
+        bump — the cache stays warm.  Returns the snapshot path."""
+        return self._manager.checkpoint(path)
+
+    def recover(self, snapshot_path, wal_path, *, mmap: bool = False,
+                sync: str = "always") -> int:
+        """Hot-swap to an engine recovered from ``snapshot + WAL tail``
+        (replayed off-lock; bumps the epoch).  Returns the new epoch."""
+        return self._manager.recover(snapshot_path, wal_path, mmap=mmap, sync=sync)
+
     # ------------------------------------------------------------------
     # Observability and lifecycle
     # ------------------------------------------------------------------

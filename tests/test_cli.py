@@ -274,6 +274,118 @@ class TestSegmentedCommands:
         assert "mutually exclusive" in capsys.readouterr().err
 
 
+class TestWALCommands:
+    @pytest.fixture()
+    def durable_engine(self, corpus_file, tmp_path, capsys):
+        engine, wal = tmp_path / "live.pkl", tmp_path / "live.wal"
+        rc = main(["build", str(corpus_file), "--method", "token", "--segmented",
+                   "--buffer-capacity", "4", "--out", str(engine),
+                   "--wal", str(wal), "--wal-sync", "batch"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"WAL at {wal} (batch sync)" in out
+        return engine, wal
+
+    def test_build_wal_requires_segmented(self, corpus_file, tmp_path, capsys):
+        rc = main(["build", str(corpus_file), "--out", str(tmp_path / "e.pkl"),
+                   "--wal", str(tmp_path / "e.wal")])
+        assert rc == 2
+        assert "--wal requires --segmented" in capsys.readouterr().err
+
+    def test_build_refuses_existing_wal(self, corpus_file, tmp_path, capsys,
+                                        durable_engine):
+        engine, wal = durable_engine
+        rc = main(["build", str(corpus_file), "--method", "token", "--segmented",
+                   "--out", str(engine), "--wal", str(wal)])
+        assert rc == 2
+        assert "refusing to overwrite" in capsys.readouterr().err
+
+    def test_update_logs_instead_of_rewriting_snapshot(self, durable_engine, capsys):
+        engine, wal = durable_engine
+        before = engine.read_bytes()
+        rc = main(["update", str(engine), "--wal", str(wal),
+                   "--region", "35,10,75,70", "--tokens", "t1,t9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inserted 1 objects (oid 7)" in out
+        assert "snapshot unchanged" in out
+        assert engine.read_bytes() == before  # the O(1)-update contract
+
+    def test_delete_with_wal_then_recover_round_trips(self, durable_engine, capsys):
+        engine, wal = durable_engine
+        main(["update", str(engine), "--wal", str(wal),
+              "--region", "35,10,75,70", "--tokens", "t1,t9"])
+        rc = main(["delete", str(engine), "--wal", str(wal), "--oids", "2,99"])
+        assert rc == 0
+        assert "deleted 1 objects (not live: [99])" in capsys.readouterr().out
+        rc = main(["recover", str(engine), "--wal", str(wal)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered 7 live objects from snapshot+wal (3 WAL records replayed)" in out
+        assert f"checkpointed to {engine}" in out
+        # The checkpoint truncated the log: recovering again replays 0.
+        rc = main(["recover", str(engine), "--wal", str(wal), "--no-checkpoint"])
+        assert rc == 0
+        assert "(0 WAL records replayed)" in capsys.readouterr().out
+
+    def test_recover_out_writes_elsewhere(self, durable_engine, tmp_path, capsys):
+        engine, wal = durable_engine
+        main(["update", str(engine), "--wal", str(wal),
+              "--region", "35,10,75,70", "--tokens", "t1"])
+        target = tmp_path / "repaired.pkl"
+        rc = main(["recover", str(engine), "--wal", str(wal), "--out", str(target)])
+        assert rc == 0
+        assert f"checkpointed to {target}" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_update_with_out_checkpoints(self, durable_engine, tmp_path, capsys):
+        engine, wal = durable_engine
+        target = tmp_path / "checkpointed.pkl"
+        rc = main(["update", str(engine), "--wal", str(wal), "--out", str(target),
+                   "--region", "35,10,75,70", "--tokens", "t1"])
+        assert rc == 0
+        assert f"checkpointed to {target}" in capsys.readouterr().out
+        rc = main(["recover", str(target), "--wal", str(wal), "--no-checkpoint"])
+        assert rc == 0
+        assert "(0 WAL records replayed)" in capsys.readouterr().out
+
+    def test_compact_with_wal_logs_the_compaction(self, durable_engine, capsys):
+        engine, wal = durable_engine
+        rc = main(["compact", str(engine), "--wal", str(wal)])
+        assert rc == 0
+        assert "snapshot unchanged" in capsys.readouterr().out
+        from repro.io.wal import read_wal
+
+        assert [r.payload["op"] for r in read_wal(wal).operations()] == ["compact"]
+
+    def test_recover_missing_wal_fails_loudly(self, durable_engine, capsys):
+        engine, _ = durable_engine
+        rc = main(["recover", str(engine), "--wal", str(engine) + ".nope"])
+        assert rc == 2
+        assert "WAL not found" in capsys.readouterr().err
+
+    def test_serve_with_wal_recovers_and_checkpoints(self, durable_engine, tmp_path,
+                                                     figure1_query, capsys):
+        engine, wal = durable_engine
+        main(["update", str(engine), "--wal", str(wal),
+              "--region", "35,10,75,70", "--tokens", "t1,t2"])
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query], workload)
+        capsys.readouterr()
+        rc = main(["serve", str(engine), "--queries", str(workload),
+                   "--threads", "2", "--repeat", "2",
+                   "--wal", str(wal), "--wal-sync", "batch"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered 8 live objects from snapshot+wal (1 WAL records replayed)" in out
+        assert "served 4 requests" in out
+        assert f"checkpointed to {engine}" in out
+        # The serve-exit checkpoint absorbed the tail.
+        rc = main(["recover", str(engine), "--wal", str(wal), "--no-checkpoint"])
+        assert rc == 0
+        assert "(0 WAL records replayed)" in capsys.readouterr().out
+
+
 class TestSweep:
     def test_sweep_prints_table(self, tmp_path, capsys):
         corpus = tmp_path / "c.jsonl"

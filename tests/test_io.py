@@ -171,6 +171,70 @@ class TestSnapshot:
         with pytest.raises(SnapshotError, match="format 3.*rebuild the index"):
             load_engine(path)
 
+    def test_pre_durability_snapshots_rejected(self, tmp_path):
+        """Format 4 predates the WAL envelope block (checkpoint
+        position); format-5 readers must reject it loudly."""
+        import pickle
+
+        from repro.io.snapshot import SNAPSHOT_FORMAT
+
+        assert SNAPSHOT_FORMAT >= 5
+        path = tmp_path / "v4.pkl"
+        path.write_bytes(
+            pickle.dumps({"magic": "repro-seal-snapshot", "format": 4, "engine": None})
+        )
+        with pytest.raises(SnapshotError, match="format 4.*rebuild the index"):
+            load_engine(path)
+
+    def test_save_engine_fsyncs_files_and_directory(self, tmp_path, figure1_objects,
+                                                    figure1_weighter):
+        """Power-loss discipline (regression): both write paths must
+        fsync the temp file before the rename and the parent directory
+        after it — os.replace alone can surface as a zero-length or
+        missing snapshot/sidecar after power loss."""
+        import os
+        import stat
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            return real_fsync(fd)
+
+        method = build_method(figure1_objects, "token", figure1_weighter,
+                             backend="columnar")
+        path = tmp_path / "engine.pkl"
+        from unittest import mock
+
+        with mock.patch("os.fsync", recording_fsync):
+            save_engine(method, path)
+        # Two write paths (sidecar + snapshot), each: file fsync before
+        # the rename, directory fsync after it.
+        assert synced.count(False) >= 2
+        assert synced.count(True) >= 2
+
+    def test_corpus_order_of_fsync_and_replace(self, tmp_path, figure1_objects,
+                                               figure1_weighter):
+        """The file fsync must happen before os.replace publishes the
+        name (fsync-after-rename leaves a window where the new name
+        points at unsynced data)."""
+        import os
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        from unittest import mock
+
+        method = build_method(figure1_objects, "token", figure1_weighter,
+                             backend="python")
+        with mock.patch("os.fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]), \
+             mock.patch("os.replace", lambda a, b: (events.append("replace"),
+                                                    real_replace(a, b))[1]):
+            save_engine(method, tmp_path / "engine.pkl")
+        assert "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
     def test_format4_segmented_round_trip(self, tmp_path):
         """Format 4: a segmented engine — segments, write buffer and
         tombstones — round-trips with identical answers, eagerly and

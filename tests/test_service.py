@@ -317,3 +317,46 @@ class TestLatencyHistogram:
         histogram = LatencyHistogram()
         assert histogram.percentile(50.0) == 0.0
         assert histogram.as_dict()["count"] == 0
+
+    def test_empty_histogram_emits_no_nan_anywhere(self):
+        """The --metrics-out audit: an idle service's histogram snapshot
+        must be all finite zeros (a NaN would poison every scraper)."""
+        import math
+
+        snapshot = LatencyHistogram().as_dict()
+        for key in ("mean_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms"):
+            assert snapshot[key] == 0.0
+            assert math.isfinite(snapshot[key])
+        assert all(bucket["count"] == 0 for bucket in snapshot["buckets"])
+        assert "NaN" not in json.dumps(snapshot)  # json.dumps emits NaN unquoted
+
+    def test_all_zero_observations_stay_finite(self):
+        """Zero-latency observations land in the first bucket with
+        max_ms 0.0; interpolation must not divide into NaN/negatives."""
+        import math
+
+        histogram = LatencyHistogram()
+        for _ in range(4):
+            histogram.observe(0.0)
+        snapshot = histogram.as_dict()
+        for key in ("mean_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms"):
+            assert math.isfinite(snapshot[key])
+            assert snapshot[key] >= 0.0
+
+    def test_idle_service_metrics_json_has_no_nan(self):
+        """End to end: serve --metrics-out JSON of a service that never
+        saw a request parses back with finite numbers only."""
+        import math
+
+        with QueryService(make_engine()) as service:
+            document = json.loads(
+                service.metrics_json(),
+                parse_constant=lambda name: pytest.fail(f"non-finite {name} in metrics"),
+            )
+        latency = document["latency_ms"]
+        assert latency["count"] == 0
+        assert all(
+            math.isfinite(latency[key])
+            for key in ("mean_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms")
+        )
+        assert document["cache"]["hit_rate"] == 0.0  # 0/0 lookups pins to 0.0

@@ -116,6 +116,26 @@ class TestTTL:
         now[0] = 1e9
         assert cache.get(0, q) is not None
 
+    def test_expiry_boundary_is_exclusive(self):
+        """Pinned contract: an entry is servable strictly *before*
+        ``expires_at`` and expired at exactly ``expires_at`` — the
+        half-open window [stored, stored + ttl).  A scraper-facing miss
+        at the boundary beats ever serving a result at full TTL age."""
+        now = [1000.0]
+        cache = ResultCache(capacity=4, ttl=2.5, clock=lambda: now[0])
+        q = make_query()
+        cache.put(0, q, make_result())
+        now[0] = 1002.5 - 1e-9  # one tick before the boundary: a hit
+        assert cache.get(0, q) is not None
+        now[0] = 1002.5  # exactly expires_at: expired, not servable
+        assert cache.get(0, q) is None
+        assert cache.expirations == 1
+        assert cache.misses == 1 and cache.hits == 1
+        # Re-storing restarts the window from the current clock.
+        cache.put(0, q, make_result())
+        now[0] = 1005.0 - 1e-9
+        assert cache.get(0, q) is not None
+
 
 class TestInvalidation:
     def test_drop_stale_frees_old_epochs(self):

@@ -201,9 +201,12 @@ class TestHotSwap:
         path = tmp_path / "seg.pkl"
         save_engine(engine, path)
         info = validate_snapshot(path)
-        assert info["format"] == 4
+        from repro.io.snapshot import SNAPSHOT_FORMAT
+
+        assert info["format"] == SNAPSHOT_FORMAT
         assert info["manifest"]["kind"] == "segmented"
         assert info["manifest"]["live"] == 6
+        assert info["wal"] is None  # plain save: not a WAL checkpoint
 
     def test_inflight_reader_finishes_on_old_engine(self):
         """The hot-swap traffic contract, pinned with real threads.

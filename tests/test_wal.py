@@ -1,0 +1,303 @@
+"""Tests for the write-ahead log file format and appender."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.io.wal import (
+    DEFAULT_GROUP_SIZE,
+    SYNC_POLICIES,
+    WALError,
+    WriteAheadLog,
+    read_wal,
+)
+
+CONFIG = {"method": "token", "buffer_capacity": 8, "merge_fanout": 4, "params": {}}
+
+
+def make_wal(tmp_path, *, sync="always", group_size=DEFAULT_GROUP_SIZE):
+    return WriteAheadLog.create(
+        tmp_path / "test.wal", config=CONFIG, sync=sync, group_size=group_size
+    )
+
+
+class TestRoundTrip:
+    def test_records_round_trip_in_order(self, tmp_path):
+        wal = make_wal(tmp_path)
+        ops = [
+            {"op": "insert", "oid": 0, "region": [0.0, 0.0, 2.0, 2.0],
+             "tokens": ["café", "tea"]},
+            {"op": "delete", "oid": 0},
+            {"op": "seal"},
+            {"op": "compact"},
+        ]
+        offsets = [wal.append(op) for op in ops]
+        wal.close()
+        contents = read_wal(wal.path)
+        assert not contents.torn
+        assert contents.generation == 0
+        assert contents.config == dict(CONFIG, op="config")
+        replayed = contents.operations()
+        assert [r.payload for r in replayed] == ops
+        assert [r.offset for r in replayed] == offsets
+        assert offsets == sorted(offsets)
+
+    def test_position_tracks_file_end(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append({"op": "seal"})
+        assert wal.position == os.path.getsize(wal.path)
+        wal.close()
+        assert read_wal(wal.path).good_end == wal.position
+
+    def test_operations_start_filter(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append({"op": "seal"})
+        cut = wal.position
+        wal.append({"op": "compact"})
+        wal.close()
+        tail = read_wal(wal.path).operations(cut)
+        assert [r.payload["op"] for r in tail] == ["compact"]
+
+    def test_record_must_be_operation_dict(self, tmp_path):
+        wal = make_wal(tmp_path)
+        with pytest.raises(WALError, match="'op'"):
+            wal.append({"not-op": 1})
+        wal.close()
+
+
+class TestCreateAndOpen:
+    def test_create_refuses_existing_path(self, tmp_path):
+        make_wal(tmp_path).close()
+        with pytest.raises(WALError, match="refusing to overwrite"):
+            make_wal(tmp_path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WALError, match="not found"):
+            read_wal(tmp_path / "nope.wal")
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "junk.wal"
+        path.write_bytes(b"x" * 64)
+        with pytest.raises(WALError, match="not a repro WAL"):
+            read_wal(path)
+
+    def test_short_header(self, tmp_path):
+        path = tmp_path / "short.wal"
+        path.write_bytes(b"SEALWAL\x00")
+        with pytest.raises(WALError, match="too short"):
+            read_wal(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.close()
+        data = bytearray(wal.path.read_bytes())
+        data[8] = 99  # format u32 little-endian low byte
+        wal.path.write_bytes(bytes(data))
+        with pytest.raises(WALError, match="format 99"):
+            read_wal(wal.path)
+
+    def test_unknown_sync_policy(self, tmp_path):
+        with pytest.raises(WALError, match="sync policy"):
+            make_wal(tmp_path, sync="sometimes")
+
+    def test_bad_group_size(self, tmp_path):
+        with pytest.raises(WALError, match="group_size"):
+            make_wal(tmp_path, group_size=0)
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(WALError, match="closed"):
+            wal.append({"op": "seal"})
+
+
+class TestTornTails:
+    def _filled(self, tmp_path, count=5):
+        wal = make_wal(tmp_path)
+        boundaries = [wal.position]
+        for i in range(count):
+            wal.append({"op": "insert", "oid": i, "region": [0, 0, 1, 1],
+                        "tokens": [f"t{i}"]})
+            boundaries.append(wal.position)
+        wal.close()
+        return wal.path, boundaries
+
+    def test_truncation_at_every_byte_yields_the_durable_prefix(self, tmp_path):
+        """A crash mid-append tears the tail at an arbitrary byte; the
+        reader must surface exactly the records whose frames completed."""
+        path, boundaries = self._filled(tmp_path)
+        blob = path.read_bytes()
+        for cut in range(boundaries[0], len(blob)):
+            torn = tmp_path / "torn.wal"
+            torn.write_bytes(blob[:cut])
+            contents = read_wal(torn)
+            complete = sum(1 for b in boundaries[1:] if b <= cut)
+            assert len(contents.operations()) == complete
+            assert contents.good_end == boundaries[complete]
+            assert contents.trailing_bytes == cut - boundaries[complete]
+            assert contents.torn == (cut != boundaries[complete])
+
+    def test_corrupt_record_stops_the_scan(self, tmp_path):
+        """A flipped payload byte fails the checksum; nothing past it is
+        trusted (bytes after the corruption cannot be re-synchronized)."""
+        path, boundaries = self._filled(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[boundaries[1] + 10] ^= 0xFF  # inside record 1's frame
+        path.write_bytes(bytes(blob))
+        contents = read_wal(path)
+        assert len(contents.operations()) == 1
+        assert contents.good_end == boundaries[1]
+        assert contents.trailing_bytes == len(blob) - boundaries[1]
+
+    def test_open_truncates_torn_tail_before_appending(self, tmp_path):
+        path, boundaries = self._filled(tmp_path, count=3)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: boundaries[2] + 3])  # torn mid-record-2
+        wal = WriteAheadLog.open(path)
+        assert wal.position == boundaries[2]
+        wal.append({"op": "seal"})
+        wal.close()
+        contents = read_wal(path)
+        assert not contents.torn
+        assert [r.payload["op"] for r in contents.operations()] == [
+            "insert", "insert", "seal",
+        ]
+
+    def test_checksummed_garbage_is_writer_corruption_not_torn(self, tmp_path):
+        """A record whose checksum matches but whose payload is not an
+        operation object is a writer bug: loud error, never truncation."""
+        import struct
+        import zlib
+
+        path, _ = self._filled(tmp_path, count=1)
+        payload = b"[1,2,3]"
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        with path.open("ab") as handle:
+            handle.write(frame)
+        with pytest.raises(WALError, match="not an operation object"):
+            read_wal(path)
+
+
+class TestSyncPolicies:
+    @pytest.fixture()
+    def fsync_calls(self, monkeypatch):
+        calls = []
+        real = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real(fd))[1])
+        return calls
+
+    def test_always_fsyncs_every_append(self, tmp_path, fsync_calls):
+        wal = make_wal(tmp_path, sync="always")
+        base = len(fsync_calls)
+        for i in range(3):
+            wal.append({"op": "seal"})
+        assert len(fsync_calls) - base == 3
+        assert wal.syncs == 3
+        wal.close()
+
+    def test_batch_group_commits(self, tmp_path):
+        wal = make_wal(tmp_path, sync="batch", group_size=4)
+        for _ in range(11):
+            wal.append({"op": "seal"})
+        assert wal.syncs == 2  # at appends 4 and 8
+        wal.sync()
+        assert wal.syncs == 3  # explicit barrier flushes the remainder
+        wal.sync()
+        assert wal.syncs == 3  # nothing pending: no-op
+        wal.close()
+
+    def test_none_fsyncs_only_on_close(self, tmp_path, fsync_calls):
+        wal = make_wal(tmp_path, sync="none")
+        base = len(fsync_calls)
+        for _ in range(5):
+            wal.append({"op": "seal"})
+        assert len(fsync_calls) == base
+        assert wal.syncs == 0
+        wal.close()
+        assert wal.syncs == 1
+
+    def test_unsynced_appends_still_visible_to_readers(self, tmp_path):
+        wal = make_wal(tmp_path, sync="none")
+        wal.append({"op": "compact"})
+        assert [r.payload["op"] for r in read_wal(wal.path).operations()] == ["compact"]
+        wal.close()
+
+    def test_policy_names_are_stable(self):
+        assert SYNC_POLICIES == ("always", "batch", "none")
+
+
+class TestReset:
+    def test_reset_bumps_generation_and_keeps_config(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append({"op": "seal"})
+        assert wal.reset() == 1
+        contents = read_wal(wal.path)
+        assert contents.generation == 1
+        assert contents.operations() == []
+        assert contents.config == dict(CONFIG, op="config")
+        wal.append({"op": "compact"})
+        wal.close()
+        assert [r.payload["op"] for r in read_wal(wal.path).operations()] == ["compact"]
+
+    def test_reopen_after_reset_sees_new_generation(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.reset()
+        wal.reset()
+        wal.close()
+        reopened = WriteAheadLog.open(wal.path)
+        assert reopened.generation == 2
+        assert reopened.config == CONFIG
+        reopened.close()
+
+    def test_reset_records_parent_checkpoint_marker(self, tmp_path):
+        wal = make_wal(tmp_path)
+        assert read_wal(wal.path).parent_checkpoint is None  # generation 0
+        marker = {"generation": 0, "offset": wal.position}
+        wal.reset(parent=marker)
+        assert read_wal(wal.path).parent_checkpoint == marker
+        wal.close()
+        # The marker does not leak into the engine config on reopen.
+        reopened = WriteAheadLog.open(wal.path)
+        assert reopened.config == CONFIG
+        # ...and the next reset's marker replaces it.
+        reopened.reset(parent={"generation": 1, "offset": 123})
+        assert read_wal(wal.path).parent_checkpoint == {"generation": 1, "offset": 123}
+        reopened.close()
+
+    def test_failed_reset_leaves_appender_usable(self, tmp_path, monkeypatch):
+        """A reset that cannot write the fresh log (disk full) must keep
+        the appender open on the intact old log, not half-closed."""
+        wal = make_wal(tmp_path)
+        wal.append({"op": "seal"})
+
+        import repro.io.wal as wal_mod
+
+        def no_space(path, data):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(wal_mod, "atomic_write_bytes", no_space)
+        with pytest.raises(OSError, match="No space"):
+            wal.reset()
+        monkeypatch.undo()
+        assert wal.generation == 0 and not wal.closed
+        wal.append({"op": "compact"})  # still appends to the old log
+        wal.close()
+        assert [r.payload["op"] for r in read_wal(wal.path).operations()] == [
+            "seal", "compact",
+        ]
+
+    def test_open_reuses_a_prior_scan(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append({"op": "seal"})
+        wal.close()
+        contents = read_wal(wal.path)
+        reopened = WriteAheadLog.open(wal.path, contents=contents)
+        assert reopened.position == contents.good_end
+        reopened.append({"op": "compact"})
+        reopened.close()
+        assert [r.payload["op"] for r in read_wal(wal.path).operations()] == [
+            "seal", "compact",
+        ]

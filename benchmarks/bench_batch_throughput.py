@@ -32,7 +32,7 @@ from repro.bench import format_table, measure_throughput
 from repro.datasets import generate_queries
 from repro.exec.sharded import ShardedSealSearch
 
-from benchmarks.conftest import emit, make_twitter_corpus, report_json
+from benchmarks.conftest import emit, make_twitter_corpus, record_trajectory, report_json
 
 BATCH_N = int(os.environ.get("REPRO_BENCH_BATCH_N", "10000"))
 BATCH_QUERIES = int(os.environ.get("REPRO_BENCH_BATCH_QUERIES", "64"))
@@ -108,6 +108,14 @@ def test_batch_vs_single_query(benchmark, corpus, weighter, small_queries):
     )
     emit(format_table(title, "method", ["single q/s", "batch q/s", "speedup"], rows))
     report_json("batch_vs_single.json", title, payload)
+    record_trajectory(
+        "batch_vs_single",
+        {
+            **{f"{name}_batch_qps": entry["batched"].qps for name, entry in payload.items()},
+            **{f"{name}_speedup": entry["speedup"] for name, entry in payload.items()},
+        },
+        scale={"objects": BATCH_N, "queries": BATCH_QUERIES, "repeats": REPEATS},
+    )
 
 
 #: Methods for the shard-scaling comparison: ``keyword-first`` has an

@@ -40,7 +40,13 @@ from repro.bench import format_table, measure_throughput
 from repro.core.stats import SearchStats
 from repro.datasets import generate_queries
 
-from benchmarks.conftest import emit, make_twitter_corpus, report_json, scaled_granularity
+from benchmarks.conftest import (
+    emit,
+    make_twitter_corpus,
+    record_trajectory,
+    report_json,
+    scaled_granularity,
+)
 
 PROBE_N = int(os.environ.get("REPRO_BENCH_PROBE_N", "10000"))
 PROBE_QUERIES = int(os.environ.get("REPRO_BENCH_PROBE_QUERIES", "64"))
@@ -152,3 +158,12 @@ def test_filter_phase_python_vs_columnar(benchmark, corpus, weighter, filter_bou
     )
     emit(format_table(title, "method", ["python q/s", "columnar q/s", "speedup"], rows))
     report_json("index_probe.json", title, payload)
+    record_trajectory(
+        "index_probe",
+        {
+            "suite_python_seconds": payload["suite"]["python_seconds"],
+            "suite_columnar_seconds": payload["suite"]["columnar_seconds"],
+            "suite_speedup": payload["suite"]["speedup"],
+        },
+        scale={"objects": PROBE_N, "queries": PROBE_QUERIES},
+    )

@@ -47,7 +47,7 @@ from repro.bench import format_table
 from repro.datasets import generate_queries
 from repro.extensions.updates import UpdatableSealSearch
 
-from benchmarks.conftest import emit, make_twitter_corpus, report_json
+from benchmarks.conftest import emit, make_twitter_corpus, record_trajectory, report_json
 
 UPDATES_N = int(os.environ.get("REPRO_BENCH_N", "10000"))
 UPDATES_CHURN = int(os.environ.get("REPRO_BENCH_UPDATES_CHURN", str(max(UPDATES_N // 5, 200))))
@@ -170,4 +170,14 @@ def test_update_churn_segmented_vs_rebuild(benchmark, corpus_and_churn, churn_qu
             "segmented": segmented_stats,
             "insert_speedup": speedup,
         },
+    )
+    record_trajectory(
+        "updates_churn",
+        {
+            "rebuild_inserts_per_sec": rebuild_stats["inserts_per_sec"],
+            "segmented_inserts_per_sec": segmented_stats["inserts_per_sec"],
+            "segmented_query_ms": segmented_stats["query_ms"],
+            "insert_speedup": speedup,
+        },
+        scale={"objects": UPDATES_N, "inserts": UPDATES_CHURN},
     )

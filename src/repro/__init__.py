@@ -68,6 +68,10 @@ from repro.service import (
     AdmissionRejected,
     DeadlineExceeded,
     EngineManager,
+    NetworkClient,
+    NetworkServer,
+    ProcessSupervisor,
+    ProtocolError,
     QueryService,
     ResultCache,
     ServiceError,
@@ -97,6 +101,10 @@ __all__ = [
     "InvalidQueryError",
     "KeywordFirstSearch",
     "NaiveSearch",
+    "NetworkClient",
+    "NetworkServer",
+    "ProcessSupervisor",
+    "ProtocolError",
     "Query",
     "QueryService",
     "Rect",

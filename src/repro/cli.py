@@ -5,6 +5,8 @@ Everything the library does, scriptable without writing Python::
     seal-repro generate twitter --num-objects 5000 --out corpus.jsonl \\
         --queries queries.jsonl --kind small
     seal-repro stats corpus.jsonl
+    seal-repro inspect engine.pkl
+    seal-repro inspect live.pkl.serving --json
     seal-repro build corpus.jsonl --method seal --out engine.pkl
     seal-repro build corpus.jsonl --method seal --backend python \\
         --out oracle.pkl
@@ -23,6 +25,9 @@ Everything the library does, scriptable without writing Python::
     seal-repro query engine.pkl --queries queries.jsonl --via-service
     seal-repro serve engine.pkl --queries queries.jsonl --threads 4 \\
         --repeat 8 --metrics-out metrics.json
+    seal-repro serve engine.pkl --net --port 7471 --workers-procs 4
+    seal-repro client --port 7471 --queries queries.jsonl \\
+        --connections 4 --repeat 8 --oracle engine.pkl
     seal-repro update live.pkl --region 10,10,20,20 --tokens coffee
     seal-repro update live.pkl --from more-objects.jsonl
     seal-repro update live.pkl --wal live.wal --from more-objects.jsonl
@@ -109,6 +114,17 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print corpus statistics")
     stats.add_argument("corpus")
     stats.set_defaults(handler=_cmd_stats)
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="print a snapshot's envelope without loading the engine: format, "
+             "WAL lineage, segment/tombstone manifest, sidecar — or a serving "
+             "directory's generation catalog",
+    )
+    inspect_cmd.add_argument("snapshot", help="snapshot path or serving directory")
+    inspect_cmd.add_argument("--json", action="store_true",
+                             help="emit one machine-readable JSON document")
+    inspect_cmd.set_defaults(handler=_cmd_inspect)
 
     build = sub.add_parser("build", help="build an engine snapshot from a corpus")
     build.add_argument("corpus")
@@ -217,11 +233,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="drive a workload through the concurrent query service "
+        help="serve an engine: --net starts the multi-process network server; "
+             "otherwise drives a workload through the in-process query service "
              "(client threads, result cache, admission control, metrics JSON)",
     )
     serve.add_argument("engine")
-    serve.add_argument("--queries", required=True, help="JSONL query workload")
+    serve.add_argument("--queries", help="JSONL query workload (in-process mode)")
+    serve.add_argument(
+        "--net", action="store_true",
+        help="serve over TCP with a supervisor + forked worker processes, each "
+             "memory-mapping the published snapshot generation (shared page "
+             "cache, parallel across cores)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind interface (--net)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks a free one and prints it (--net)")
+    serve.add_argument("--workers-procs", type=int, default=2,
+                       help="worker processes sharing the listening socket (--net)")
+    serve.add_argument(
+        "--serving-dir",
+        help="snapshot-generation directory workers discover their engine from "
+             "(default: <engine>.serving next to the snapshot)",
+    )
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="exit after this long instead of serving until a signal (--net)")
     serve.add_argument("--threads", type=int, default=4,
                        help="client threads replaying the workload concurrently")
     serve.add_argument("--repeat", type=int, default=1,
@@ -247,6 +282,27 @@ def _build_parser() -> argparse.ArgumentParser:
                  "and checkpoint on clean exit",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="network load driver: replay a workload against a running "
+             "`serve --net` server from concurrent connections",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--queries", required=True, help="JSONL query workload")
+    client.add_argument("--connections", type=int, default=4,
+                        help="concurrent client connections")
+    client.add_argument("--repeat", type=int, default=1,
+                        help="workload replays per connection")
+    client.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request socket timeout in seconds")
+    client.add_argument(
+        "--oracle",
+        help="engine snapshot to verify every networked answer against "
+             "(bit-identical or exit 2)",
+    )
+    client.set_defaults(handler=_cmd_client)
 
     sweep_cmd = sub.add_parser("sweep", help="threshold sweep over methods (figure-style table)")
     sweep_cmd.add_argument("corpus")
@@ -316,6 +372,86 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"max {areas.max():.4g}")
     print(f"tokens per object:  mean {tokens.mean():.2f}, max {tokens.max()}")
     print(f"distinct tokens:    {len(vocab)}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.io.generations import current_snapshot, list_generations
+    from repro.io.snapshot import sidecar_path, validate_snapshot
+
+    path = Path(args.snapshot)
+    document: dict = {}
+    if path.is_dir():
+        # A serving directory: report the generation catalog, then
+        # inspect the generation workers would boot from.
+        generation, snapshot = current_snapshot(path)
+        document["serving_dir"] = {
+            "path": str(path),
+            "generation": generation,
+            "snapshot": str(snapshot),
+            "generations_on_disk": [p.name for p in list_generations(path)],
+        }
+        path = snapshot
+    info = validate_snapshot(path)
+    sidecar = sidecar_path(path)
+    document.update(
+        {
+            "snapshot": str(path),
+            "format": info["format"],
+            "library_version": info["library_version"],
+            "num_arrays": info["num_arrays"],
+            "sidecar": (
+                {"path": str(sidecar), "bytes": sidecar.stat().st_size}
+                if sidecar.exists()
+                else None
+            ),
+            "wal": info["wal"],
+            "manifest": info["manifest"],
+        }
+    )
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    if "serving_dir" in document:
+        catalog = document["serving_dir"]
+        print(f"serving dir:        {catalog['path']}")
+        print(f"current generation: {catalog['generation']} -> {catalog['snapshot']}")
+        if catalog["generations_on_disk"]:
+            print(f"generations kept:   {', '.join(catalog['generations_on_disk'])}")
+    print(f"snapshot:           {document['snapshot']}")
+    print(f"format:             {document['format']} "
+          f"(library {document['library_version']})")
+    sidecar_doc = document["sidecar"]
+    if sidecar_doc is not None:
+        print(f"columnar arrays:    {document['num_arrays']} in sidecar "
+              f"({sidecar_doc['bytes'] / 1e6:.2f} MB, mmap-able)")
+    else:
+        print(f"columnar arrays:    {document['num_arrays']} (no sidecar)")
+    wal = document["wal"]
+    if wal is not None:
+        print(f"wal checkpoint:     generation {wal.get('generation')}, "
+              f"offset {wal.get('offset')}")
+    else:
+        print("wal checkpoint:     none (plain save, not a WAL checkpoint)")
+    manifest = document["manifest"]
+    if manifest is None:
+        print("manifest:           none (not a segmented engine)")
+        return 0
+    print(f"engine:             {manifest.get('kind')} over "
+          f"{manifest.get('method')!r}")
+    print(f"objects:            {manifest.get('live')} live, "
+          f"{manifest.get('buffer')} buffered, "
+          f"{manifest.get('tombstones')} tombstones, "
+          f"next oid {manifest.get('next_oid')}")
+    segments = manifest.get("segments") or []
+    print(f"segments:           {len(segments)} "
+          f"({manifest.get('compactions')} compactions)")
+    for i, segment in enumerate(segments):
+        print(f"  segment {i}: {segment['objects']} objects "
+              f"({segment['live']} live), tier {segment['tier']}")
     return 0
 
 
@@ -631,9 +767,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
             service.close()
 
 
+def _service_config(args: argparse.Namespace) -> dict:
+    """The QueryService keyword arguments both serve modes share."""
+    return {
+        "enable_cache": not args.no_cache,
+        "cache_capacity": args.cache_capacity,
+        "cache_ttl": args.cache_ttl,
+        "workers": args.workers,
+        "max_queue": args.max_queue,
+        "default_deadline": (
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print("error: --deadline-ms must be positive", file=sys.stderr)
+        return 2
+    if args.net:
+        return _serve_net(args)
+    if not args.queries:
+        print("error: --queries is required without --net", file=sys.stderr)
+        return 2
     if args.wal:
         engine = recover_engine(args.engine, args.wal, sync=args.wal_sync, mmap=args.mmap)
         print(_recovery_summary(engine))
@@ -646,20 +804,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.threads < 1 or args.repeat < 1:
         print("error: --threads and --repeat must be positive", file=sys.stderr)
         return 2
-    if args.deadline_ms is not None and args.deadline_ms <= 0:
-        print("error: --deadline-ms must be positive", file=sys.stderr)
-        return 2
-    service = QueryService(
-        engine,
-        enable_cache=not args.no_cache,
-        cache_capacity=args.cache_capacity,
-        cache_ttl=args.cache_ttl,
-        workers=args.workers,
-        max_queue=args.max_queue,
-        default_deadline=(
-            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
-        ),
-    )
+    service = QueryService(engine, **_service_config(args))
     failures: List[BaseException] = []
 
     def client() -> None:
@@ -675,21 +820,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"× {args.repeat} repeats × {len(queries)} queries "
           f"(cache {'off' if args.no_cache else 'on'}, {args.workers} workers)")
     started = time.perf_counter()
-    threads = [threading.Thread(target=client, name=f"client-{i}") for i in range(args.threads)]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - started
-    if args.wal and not failures:
-        # Clean shutdown is the natural checkpoint boundary: the replayed
-        # tail (and any recovery repair) lands in the snapshot and the
-        # log resets — the next recovery starts from here.
-        service.checkpoint()
-        print(f"checkpointed to {engine.snapshot_path}; WAL {args.wal} truncated")
-    service.close()
-    if args.wal:
-        engine.close()
+    try:
+        # The context manager is the teardown guarantee: the admission
+        # pool drains on every exit path (checkpoint failure included),
+        # so `serve` never leaves worker threads behind on interpreter
+        # exit.
+        with service:
+            threads = [
+                threading.Thread(target=client, name=f"client-{i}")
+                for i in range(args.threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            if args.wal and not failures:
+                # Clean shutdown is the natural checkpoint boundary: the
+                # replayed tail (and any recovery repair) lands in the
+                # snapshot and the log resets — the next recovery starts
+                # from here.
+                service.checkpoint()
+                print(f"checkpointed to {engine.snapshot_path}; WAL {args.wal} truncated")
+    finally:
+        if args.wal:
+            engine.close()
     if failures:
         print(f"error: {len(failures)} client(s) failed: {failures[0]}", file=sys.stderr)
         return 2
@@ -704,6 +859,153 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"metrics JSON written to {args.metrics_out}")
     else:
         print(metrics_text)
+    return 0
+
+
+def _serve_net(args: argparse.Namespace) -> int:
+    """The multi-process network server: publish, fork, serve, drain."""
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.io.generations import publish_snapshot
+    from repro.service import ProcessSupervisor
+
+    if args.workers_procs < 1:
+        print("error: --workers-procs must be positive", file=sys.stderr)
+        return 2
+    engine_path = Path(args.engine)
+    if args.wal:
+        # Boot from the recovered checkpoint: replay the WAL tail into
+        # the snapshot first, so workers memory-map the exact pre-crash
+        # state (PR 5's recover path feeding PR 6's workers).
+        durable = recover_engine(args.engine, args.wal, sync=args.wal_sync)
+        print(_recovery_summary(durable))
+        durable.checkpoint()
+        durable.close()
+        print(f"checkpointed to {engine_path}; WAL {args.wal} truncated")
+    serving_dir = (
+        Path(args.serving_dir)
+        if args.serving_dir
+        else engine_path.with_name(engine_path.name + ".serving")
+    )
+    generation, snapshot = publish_snapshot(serving_dir, source_path=engine_path)
+    stop = threading.Event()
+
+    def on_signal(signum, frame) -> None:
+        stop.set()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, on_signal)
+        signal.signal(signal.SIGTERM, on_signal)
+    supervisor = ProcessSupervisor(
+        serving_dir,
+        workers=args.workers_procs,
+        host=args.host,
+        port=args.port,
+        service_config=_service_config(args),
+    )
+    with supervisor:
+        host, port = supervisor.address
+        print(f"published generation {generation} ({snapshot}) in {serving_dir}")
+        print(f"listening on {host}:{port} — {args.workers_procs} worker "
+              f"processes over one mmap-shared snapshot "
+              f"(cache {'off' if args.no_cache else 'on'}, "
+              f"{args.workers} threads/worker)", flush=True)
+        deadline = (
+            time.monotonic() + args.max_seconds if args.max_seconds is not None else None
+        )
+        while not stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.2)
+    print(f"drained: generation {supervisor.generation}, "
+          f"{supervisor.respawns} worker respawns")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.core.errors import ProtocolError
+    from repro.service import NetworkClient
+
+    queries = load_queries(args.queries)
+    if not queries:
+        print("error: the workload file holds no queries", file=sys.stderr)
+        return 2
+    if args.connections < 1 or args.repeat < 1:
+        print("error: --connections and --repeat must be positive", file=sys.stderr)
+        return 2
+    expected = None
+    if args.oracle:
+        oracle = load_engine(args.oracle)
+        expected = [_engine_search(oracle, query).answers for query in queries]
+    failures: List[str] = []
+    mismatches: List[str] = []
+    reconnects = [0]
+    lock = threading.Lock()
+
+    def drive(connection_id: int) -> None:
+        client: NetworkClient | None = None
+        try:
+            client = NetworkClient(args.host, args.port, timeout=args.timeout)
+            for _ in range(args.repeat):
+                for i, query in enumerate(queries):
+                    for attempt in (1, 2, 3):
+                        try:
+                            result = client.query(query)
+                            break
+                        except ProtocolError:
+                            # Worker recycled or crashed mid-conversation:
+                            # reconnect and retry — loud past 3 strikes.
+                            client.close()
+                            if attempt == 3:
+                                raise
+                            time.sleep(0.2 * attempt)
+                            client = NetworkClient(
+                                args.host, args.port, timeout=args.timeout
+                            )
+                            with lock:
+                                reconnects[0] += 1
+                    if expected is not None and result.answers != expected[i]:
+                        with lock:
+                            mismatches.append(
+                                f"query {i}: got {result.answers[:8]}, "
+                                f"oracle {expected[i][:8]}"
+                            )
+        except Exception as exc:  # noqa: BLE001 - reported after the join
+            with lock:
+                failures.append(f"connection {connection_id}: {exc}")
+        finally:
+            if client is not None:
+                client.close()
+
+    total = args.connections * args.repeat * len(queries)
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(i,), name=f"net-client-{i}")
+        for i in range(args.connections)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    qps = total / elapsed if elapsed else 0.0
+    note = f", {reconnects[0]} reconnects" if reconnects[0] else ""
+    print(f"drove {total} requests over {args.connections} connections "
+          f"in {elapsed:.3f}s ({qps:.0f} q/s{note})")
+    if failures:
+        print(f"error: {len(failures)} connection(s) failed: {failures[0]}",
+              file=sys.stderr)
+        return 2
+    if mismatches:
+        print(f"error: {len(mismatches)} answer(s) diverged from the oracle: "
+              f"{mismatches[0]}", file=sys.stderr)
+        return 2
+    if expected is not None:
+        print(f"all {total} answers identical to the {args.oracle} oracle")
     return 0
 
 

@@ -39,3 +39,14 @@ class AdmissionRejected(ServiceError):
 
 class DeadlineExceeded(ServiceError):
     """A request's deadline passed before a worker could start it."""
+
+
+class ProtocolError(ServiceError):
+    """A network frame violated the wire protocol, or the peer vanished.
+
+    Raised on both sides of the socket: servers reject truncated,
+    oversized, or undecodable frames with it (then close the
+    connection — framing cannot resynchronise after garbage), and
+    clients raise it when a connection dies mid-response (a recycled
+    or crashed worker) — loudly, never by inventing an answer.
+    """

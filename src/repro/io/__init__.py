@@ -11,18 +11,32 @@ a crash.
 
 from repro.io.atomic import atomic_write, atomic_write_bytes, atomic_write_text
 from repro.io.corpus_io import load_corpus, load_queries, save_corpus, save_queries
+from repro.io.generations import (
+    GenerationError,
+    current_snapshot,
+    list_generations,
+    prune_generations,
+    publish_snapshot,
+    read_current,
+)
 from repro.io.snapshot import load_engine, read_manifest, save_engine, validate_snapshot
 from repro.io.wal import WALError, WriteAheadLog, read_wal
 
 __all__ = [
+    "GenerationError",
     "WALError",
     "WriteAheadLog",
     "atomic_write",
     "atomic_write_bytes",
     "atomic_write_text",
+    "current_snapshot",
+    "list_generations",
     "load_corpus",
     "load_engine",
     "load_queries",
+    "prune_generations",
+    "publish_snapshot",
+    "read_current",
     "read_manifest",
     "read_wal",
     "save_corpus",

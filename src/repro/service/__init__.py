@@ -19,14 +19,24 @@ answers.
   the JSON metrics surface.
 * :mod:`repro.service.service` — :class:`QueryService`: the facade
   composing all of the above (cache → admission → executor → engine).
+* :mod:`repro.service.protocol` — the length-prefixed JSON wire format
+  (pure codec, dependency-free).
+* :mod:`repro.service.server` — the socket edge: per-connection request
+  loop, the single-process threaded :class:`NetworkServer`, and the
+  blocking :class:`NetworkClient`.
+* :mod:`repro.service.workers` — :class:`ProcessSupervisor`: the
+  pre-fork worker pool serving one mmap-shared snapshot generation per
+  epoch, recycled on publish (the cross-process epoch bump).
 """
 
-from repro.core.errors import AdmissionRejected, DeadlineExceeded, ServiceError
+from repro.core.errors import AdmissionRejected, DeadlineExceeded, ProtocolError, ServiceError
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache, canonical_key
 from repro.service.manager import EngineManager
 from repro.service.metrics import LatencyHistogram, RequestCounters
+from repro.service.server import NetworkClient, NetworkServer
 from repro.service.service import QueryService
+from repro.service.workers import ProcessSupervisor
 
 __all__ = [
     "AdmissionController",
@@ -34,6 +44,10 @@ __all__ = [
     "DeadlineExceeded",
     "EngineManager",
     "LatencyHistogram",
+    "NetworkClient",
+    "NetworkServer",
+    "ProcessSupervisor",
+    "ProtocolError",
     "QueryService",
     "RequestCounters",
     "ResultCache",

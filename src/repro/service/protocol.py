@@ -1,0 +1,230 @@
+"""The wire protocol: length-prefixed JSON frames, dependency-free.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding one object.  Requests and
+responses alternate in lockstep on a connection (no pipelining) —
+deliberately the simplest protocol that a shell script, another
+language, or a packet capture can speak and read:
+
+===========  ==========================================================
+request      shape
+===========  ==========================================================
+``query``    ``{"op": "query", "region": [x1, y1, x2, y2],
+             "tokens": [...], "tau_r": 0.4, "tau_t": 0.4}``
+``batch``    ``{"op": "batch", "queries": [<query fields>, ...]}``
+``ping``     ``{"op": "ping"}``
+``metrics``  ``{"op": "metrics"}``
+===========  ==========================================================
+
+Every response carries ``ok`` plus the serving identity — ``epoch``
+(the in-process engine version), ``generation`` (the cross-process
+snapshot version, ``None`` for single-process servers) and ``pid`` —
+so a client can always tell *which* engine answered.  Success adds the
+op's payload (``answers`` + ``stats`` for a query, ``results`` for a
+batch, ``metrics`` for metrics); failure is ``{"ok": false, "kind":
+"<exception class>", "error": "<message>"}`` and :func:`raise_from_wire`
+maps ``kind`` back onto the :class:`~repro.core.errors.SealError`
+hierarchy client-side, so a networked
+:class:`~repro.core.errors.AdmissionRejected` raises exactly like a
+local one.
+
+This module is pure codec — no sockets.  The transport loops (server
+accept/drain, client blocking reads) live in
+:mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.core.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    InvalidQueryError,
+    ProtocolError,
+    SealError,
+    ServiceError,
+)
+from repro.core.objects import Query
+from repro.core.stats import SearchResult, SearchStats
+from repro.geometry import Rect
+
+#: Hard per-frame byte cap (length prefix included payload only).  Large
+#: enough for any sane batch, small enough that a garbage length prefix
+#: (e.g. a client speaking HTTP at us: ``b"GET "`` is 0x47455420 ≈ 1.1 GB)
+#: is rejected before a single allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Length-prefix width in bytes.
+HEADER_BYTES = 4
+
+#: The ``kind`` values an error response may carry, mapped back onto the
+#: exception the client raises.  Unknown kinds degrade to ServiceError.
+ERROR_KINDS: Dict[str, type] = {
+    "AdmissionRejected": AdmissionRejected,
+    "DeadlineExceeded": DeadlineExceeded,
+    "InvalidQueryError": InvalidQueryError,
+    "ProtocolError": ProtocolError,
+    "ServiceError": ServiceError,
+    "SealError": SealError,
+}
+
+
+def encode_frame(payload: Mapping[str, Any], *, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact JSON bytes.
+
+    Raises:
+        ProtocolError: The encoded payload exceeds ``max_frame`` — the
+            sender finds out locally instead of the peer dropping it.
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_frame}-byte limit"
+        )
+    return len(body).to_bytes(HEADER_BYTES, "big") + body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body back into its JSON object.
+
+    Raises:
+        ProtocolError: The bytes are not UTF-8 JSON, or decode to
+            something other than an object.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must decode to a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def check_frame_length(length: int, *, max_frame: int = MAX_FRAME_BYTES) -> int:
+    """Validate a decoded length prefix before any allocation happens."""
+    if length <= 0:
+        raise ProtocolError(f"invalid frame length {length} (must be positive)")
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# Value conversions (Query / SearchResult <-> JSON-safe dicts)
+# ----------------------------------------------------------------------
+
+
+def query_to_wire(query: Query) -> Dict[str, Any]:
+    """The query's wire fields (merged into the request object)."""
+    return {
+        "region": list(query.region.as_tuple()),
+        "tokens": sorted(query.tokens),
+        "tau_r": query.tau_r,
+        "tau_t": query.tau_t,
+    }
+
+
+def query_from_wire(fields: Mapping[str, Any]) -> Query:
+    """Rebuild a :class:`Query` from wire fields.
+
+    Raises:
+        ProtocolError: Malformed region/tokens/threshold fields — the
+            server answers a loud error frame instead of a stack trace.
+    """
+    region = fields.get("region")
+    if (
+        not isinstance(region, (list, tuple))
+        or len(region) != 4
+        or not all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in region)
+    ):
+        raise ProtocolError("'region' must be [x1, y1, x2, y2] numbers")
+    tokens = fields.get("tokens", [])
+    if not isinstance(tokens, list) or not all(isinstance(t, str) for t in tokens):
+        raise ProtocolError("'tokens' must be a list of strings")
+    for name in ("tau_r", "tau_t"):
+        value = fields.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ProtocolError(f"'{name}' must be a number in [0, 1]")
+    try:
+        return Query(
+            region=Rect(*map(float, region)),
+            tokens=frozenset(tokens),
+            tau_r=float(fields["tau_r"]),
+            tau_t=float(fields["tau_t"]),
+        )
+    except (InvalidQueryError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+#: The stats fields that travel; mirrors SearchStats so a networked
+#: result carries the same instrumentation a local one does.
+_STATS_FIELDS = (
+    "lists_probed",
+    "entries_retrieved",
+    "entries_matched",
+    "candidates",
+    "results",
+    "filter_seconds",
+    "verify_seconds",
+)
+
+
+def result_to_wire(result: SearchResult) -> Dict[str, Any]:
+    """A result's wire fields: answer oids + flat stats counters."""
+    stats = result.stats
+    return {
+        "answers": [int(oid) for oid in result.answers],
+        "stats": {name: getattr(stats, name) for name in _STATS_FIELDS},
+    }
+
+
+def result_from_wire(fields: Mapping[str, Any]) -> SearchResult:
+    """Rebuild a :class:`SearchResult` from wire fields.
+
+    Raises:
+        ProtocolError: Missing/malformed answers — a server that sends
+            half a result is a protocol violation, not a quiet [].
+    """
+    answers = fields.get("answers")
+    if not isinstance(answers, list) or not all(isinstance(a, int) for a in answers):
+        raise ProtocolError("'answers' must be a list of integer oids")
+    stats_fields = fields.get("stats") or {}
+    if not isinstance(stats_fields, Mapping):
+        raise ProtocolError("'stats' must be an object")
+    stats = SearchStats(
+        **{name: stats_fields[name] for name in _STATS_FIELDS if name in stats_fields}
+    )
+    return SearchResult(answers=list(answers), stats=stats)
+
+
+def results_from_wire(items: Sequence[Mapping[str, Any]]) -> List[SearchResult]:
+    return [result_from_wire(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Error envelopes
+# ----------------------------------------------------------------------
+
+
+def error_to_wire(exc: BaseException) -> Dict[str, Any]:
+    """The error response for one failed request."""
+    kind = type(exc).__name__
+    if not isinstance(exc, SealError):
+        # Unexpected server-side failures cross the wire as a generic
+        # kind: internals (paths, object reprs) stay server-side logs.
+        kind = "ServiceError"
+    return {"ok": False, "kind": kind, "error": str(exc)}
+
+
+def raise_from_wire(payload: Mapping[str, Any]) -> None:
+    """Re-raise a server error response as its local exception type."""
+    kind = payload.get("kind")
+    message = payload.get("error", "server reported an error")
+    exc_type = ERROR_KINDS.get(kind, ServiceError) if isinstance(kind, str) else ServiceError
+    raise exc_type(str(message))

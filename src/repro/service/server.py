@@ -1,0 +1,448 @@
+"""Socket transport over :class:`~repro.service.service.QueryService`.
+
+The service core is transport-agnostic (PR 4's ``QueryService`` never
+sees a socket); this module is the network edge that speaks
+:mod:`repro.service.protocol` over TCP:
+
+* :func:`serve_connection` — the per-connection request loop any server
+  flavor runs: read a frame, dispatch to the service, answer; finish
+  the in-flight request on drain, then close.  Shared verbatim between
+  the in-process threaded server below and the forked workers of
+  :mod:`repro.service.workers`, which is what keeps the two paths
+  answer-identical by construction.
+* :class:`NetworkServer` — the single-process variant: one accept loop,
+  one thread per connection, one ``QueryService``.  The differential
+  oracle for the multi-process pool, and the right tool on a 1-core box.
+* :class:`NetworkClient` — a blocking client: ``query`` /
+  ``query_batch`` / ``ping`` / ``metrics``, server errors re-raised as
+  their local exception types, connection loss surfaced loudly as
+  :class:`~repro.core.errors.ProtocolError` (never a silent empty
+  answer).
+
+Drain semantics (the cross-process epoch contract's building block):
+when a server's ``stop`` event sets, each connection finishes the
+request it is currently serving — the response goes out — and then the
+connection closes instead of reading another frame.  A client mid-
+conversation sees EOF on its *next* request and reconnects, landing on
+whatever is serving the new generation.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ProtocolError, SealError
+from repro.core.objects import Query
+from repro.core.stats import SearchResult
+from repro.service.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    check_frame_length,
+    decode_payload,
+    encode_frame,
+    error_to_wire,
+    query_from_wire,
+    query_to_wire,
+    raise_from_wire,
+    result_from_wire,
+    result_to_wire,
+    results_from_wire,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+
+#: Seconds between stop-event checks while a server socket blocks.
+_POLL_SECONDS = 0.2
+
+#: Seconds a draining connection keeps waiting for the remainder of a
+#: frame the client already started sending; past it the drain wins.
+_DRAIN_GRACE = 5.0
+
+
+# ----------------------------------------------------------------------
+# Server-side framing (stop-aware blocking reads)
+# ----------------------------------------------------------------------
+
+
+def _recv_bytes(
+    conn: socket.socket,
+    count: int,
+    stop: threading.Event,
+    *,
+    mid_frame: bool,
+) -> Optional[bytes]:
+    """Exactly ``count`` bytes from ``conn``, polling the stop event.
+
+    Returns ``None`` for a clean end: the peer closed (or the stop event
+    set) *between* frames.  Mid-frame, EOF and drain-grace expiry are
+    protocol violations instead.
+    """
+    chunks: List[bytes] = []
+    received = 0
+    stopped_at: Optional[float] = None
+    while received < count:
+        if stop.is_set():
+            if not mid_frame and not received:
+                return None
+            if stopped_at is None:
+                stopped_at = time.monotonic()
+            elif time.monotonic() - stopped_at > _DRAIN_GRACE:
+                raise ProtocolError(
+                    "connection drained while a frame was still incomplete"
+                )
+        try:
+            chunk = conn.recv(count - received)
+        except socket.timeout:
+            continue
+        except OSError:
+            if not mid_frame and not received:
+                return None
+            raise ProtocolError("connection lost mid-frame") from None
+        if not chunk:
+            if not mid_frame and not received:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({received}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    conn: socket.socket,
+    stop: threading.Event,
+    *,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> Optional[Dict[str, Any]]:
+    """One request frame, or ``None`` on clean EOF / drain between frames.
+
+    Raises:
+        ProtocolError: Truncated frame, oversized/zero length prefix, or
+            undecodable body.
+    """
+    header = _recv_bytes(conn, HEADER_BYTES, stop, mid_frame=False)
+    if header is None:
+        return None
+    length = check_frame_length(int.from_bytes(header, "big"), max_frame=max_frame)
+    body = _recv_bytes(conn, length, stop, mid_frame=True)
+    assert body is not None  # mid_frame reads never return None
+    return decode_payload(body)
+
+
+def _send_frame(conn: socket.socket, payload: Dict[str, Any], *, max_frame: int) -> None:
+    conn.sendall(encode_frame(payload, max_frame=max_frame))
+
+
+# ----------------------------------------------------------------------
+# Request dispatch (shared by every server flavor)
+# ----------------------------------------------------------------------
+
+
+def _dispatch(service: Any, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one request against the service; returns the ok-payload."""
+    op = request.get("op")
+    if op == "query":
+        result = service.query(query_from_wire(request))
+        return result_to_wire(result)
+    if op == "batch":
+        items = request.get("queries")
+        if not isinstance(items, list):
+            raise ProtocolError("'queries' must be a list of query objects")
+        queries = [query_from_wire(item if isinstance(item, dict) else {}) for item in items]
+        results = service.query_batch(queries)
+        return {"results": [result_to_wire(result) for result in results]}
+    if op == "ping":
+        return {}
+    if op == "metrics":
+        return {"metrics": service.metrics()}
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+def serve_connection(
+    conn: socket.socket,
+    service: Any,
+    *,
+    stop: threading.Event,
+    meta: Callable[[], Dict[str, Any]],
+    max_frame: int = MAX_FRAME_BYTES,
+) -> None:
+    """Serve one client connection until EOF, drain, or a framing error.
+
+    Requests run in lockstep (read → execute → respond).  Service-level
+    failures (admission rejection, deadline, bad query fields) answer an
+    error frame and the conversation continues; framing violations
+    answer an error frame *and close* — after garbage bytes there is no
+    reliable way back to a frame boundary.  When ``stop`` sets, the
+    in-flight request finishes and its response is sent before the
+    close, so a drained client never loses an answered query.
+    """
+    conn.settimeout(_POLL_SECONDS)
+    try:
+        while True:
+            try:
+                request = recv_frame(conn, stop, max_frame=max_frame)
+            except ProtocolError as exc:
+                _best_effort_send(conn, {**error_to_wire(exc), **meta()}, max_frame)
+                return
+            if request is None:
+                return
+            try:
+                payload = _dispatch(service, request)
+                response = {"ok": True, **meta(), **payload}
+            except Exception as exc:  # noqa: BLE001 - every failure crosses as a frame
+                response = {**error_to_wire(exc), **meta()}
+                if not isinstance(exc, SealError):
+                    # Unexpected failure: answer, then drop the
+                    # connection — the service may be wedged.
+                    _best_effort_send(conn, response, max_frame)
+                    return
+            try:
+                _send_frame(conn, response, max_frame=max_frame)
+            except (OSError, ProtocolError):
+                # Client went away mid-response (or the response itself
+                # exceeds the frame cap): nothing left to say to them.
+                return
+            if stop.is_set():
+                return
+    finally:
+        _close_socket(conn)
+
+
+def _best_effort_send(conn: socket.socket, payload: Dict[str, Any], max_frame: int) -> None:
+    try:
+        _send_frame(conn, payload, max_frame=max_frame)
+    except (OSError, ProtocolError):  # pragma: no cover - peer already gone
+        pass
+
+
+def _close_socket(conn: socket.socket) -> None:
+    try:
+        conn.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# The single-process threaded server (and multi-process oracle)
+# ----------------------------------------------------------------------
+
+
+class NetworkServer:
+    """A threaded TCP front end over one in-process :class:`QueryService`.
+
+    One accept loop, one thread per connection, every connection sharing
+    the service (whose admission controller bounds the real concurrency).
+    This is the 1-core serving topology *and* the answer-identity oracle
+    the multi-process pool is pinned against.
+
+    Args:
+        service: The :class:`~repro.service.service.QueryService` to
+            expose.  The server does not own it: closing the server
+            leaves the service usable (the CLI owns both lifetimes).
+        host: Interface to bind.
+        port: TCP port (0 picks a free one; see :attr:`address`).
+        max_frame: Per-frame byte cap, both directions.
+        backlog: Listen backlog.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        max_frame: int = MAX_FRAME_BYTES,
+        backlog: int = 128,
+    ) -> None:
+        self._service = service
+        self._max_frame = max_frame
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self._listener.settimeout(_POLL_SECONDS)
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved when 0 was asked."""
+        return self._listener.getsockname()[:2]
+
+    def _meta(self) -> Dict[str, Any]:
+        return {
+            "epoch": self._service.epoch,
+            "generation": None,
+            "pid": os.getpid(),
+        }
+
+    def start(self) -> "NetworkServer":
+        """Begin accepting connections (idempotent)."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="seal-net-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=serve_connection,
+                args=(conn, self._service),
+                kwargs={"stop": self._stop, "meta": self._meta, "max_frame": self._max_frame},
+                name="seal-net-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+            # Prune finished handlers so a long-lived server's thread
+            # list doesn't grow with every connection ever served.
+            self._threads = [t for t in self._threads if t.is_alive()]
+
+    def close(self) -> None:
+        """Drain: stop accepting, finish in-flight requests, close."""
+        self._stop.set()
+        self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=_DRAIN_GRACE + 2.0)
+        for thread in self._threads:
+            thread.join(timeout=_DRAIN_GRACE + 2.0)
+
+    def __enter__(self) -> "NetworkServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host, port = self.address
+        return f"NetworkServer({host}:{port}, service={self._service!r})"
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class NetworkClient:
+    """A blocking protocol client for one server connection.
+
+    Not thread-safe: requests on one connection run in lockstep, so give
+    each client thread its own instance (connections are cheap).  Server
+    errors re-raise as their local exception types; a vanished peer
+    (worker recycled onto a new snapshot generation, or killed) raises
+    :class:`~repro.core.errors.ProtocolError` — reconnect and retry.
+
+    Attributes:
+        last_meta: The serving identity of the most recent response:
+            ``{"epoch", "generation", "pid"}``.  Lets callers attribute
+            every answer to the engine version that produced it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._max_frame = max_frame
+        self.last_meta: Dict[str, Any] = {}
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks: List[bytes] = []
+        received = 0
+        while received < count:
+            try:
+                chunk = self._sock.recv(count - received)
+            except socket.timeout as exc:
+                raise ProtocolError(
+                    f"timed out waiting for the server ({received}/{count} bytes)"
+                ) from exc
+            except OSError as exc:
+                raise ProtocolError(f"connection lost: {exc}") from exc
+            if not chunk:
+                raise ProtocolError(
+                    "connection closed by the server mid-response "
+                    "(worker recycled or crashed); reconnect and retry"
+                )
+            chunks.append(chunk)
+            received += len(chunk)
+        return b"".join(chunks)
+
+    def _rpc(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            self._sock.sendall(encode_frame(request, max_frame=self._max_frame))
+        except OSError as exc:
+            raise ProtocolError(f"connection lost while sending: {exc}") from exc
+        header = self._recv_exact(HEADER_BYTES)
+        length = check_frame_length(
+            int.from_bytes(header, "big"), max_frame=self._max_frame
+        )
+        payload = decode_payload(self._recv_exact(length))
+        self.last_meta = {
+            key: payload.get(key) for key in ("epoch", "generation", "pid")
+        }
+        if not payload.get("ok"):
+            raise_from_wire(payload)
+        return payload
+
+    def query(self, query: Query) -> SearchResult:
+        """One query over the wire; answers match a local engine call."""
+        payload = self._rpc({"op": "query", **query_to_wire(query)})
+        return result_from_wire(payload)
+
+    def search(self, region, tokens, tau_r: float, tau_t: float) -> SearchResult:
+        """Convenience single query from raw parts (mirrors the engines)."""
+        return self.query(Query(region, frozenset(tokens), tau_r, tau_t))
+
+    def query_batch(self, queries: Sequence[Query]) -> List[SearchResult]:
+        """A burst in one frame, coalesced server-side by the service."""
+        payload = self._rpc(
+            {"op": "batch", "queries": [query_to_wire(q) for q in queries]}
+        )
+        items = payload.get("results")
+        if not isinstance(items, list) or len(items) != len(queries):
+            raise ProtocolError(
+                f"batch answered {len(items) if isinstance(items, list) else '?'} "
+                f"results for {len(queries)} queries"
+            )
+        return results_from_wire(items)
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip returning the serving identity (epoch/generation/pid)."""
+        return dict(self._rpc({"op": "ping"}))
+
+    def metrics(self) -> Dict[str, Any]:
+        """The serving process's metrics document."""
+        payload = self._rpc({"op": "metrics"})
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ProtocolError("metrics response carried no metrics object")
+        return metrics
+
+    def close(self) -> None:
+        _close_socket(self._sock)
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

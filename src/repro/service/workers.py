@@ -1,0 +1,379 @@
+"""The pre-fork worker pool: N processes, one mmap-shared snapshot.
+
+On a GIL-bound interpreter the PR 4 thread pool buys concurrency
+*structure* but zero wall-clock — queries serialize on one core.  This
+module escapes the process boundary with the classic pre-fork topology
+(the nginx/gunicorn shape):
+
+* the **supervisor** binds the listening socket, publishes snapshot
+  generations (:mod:`repro.io.generations`), forks workers, and
+  respawns any that die;
+* each **worker** inherits the listening socket through ``fork``,
+  *discovers* the current generation from the serving directory, and
+  ``load_engine(mmap=True)``s it — N workers map the same ``.npz``
+  sidecar, so the kernel keeps **one** physical copy of the CSR posting
+  arrays in the page cache and queries run genuinely parallel across
+  cores;
+* the kernel's ``accept`` queue load-balances connections across
+  whichever workers are listening — no routing tier.
+
+**The cross-process epoch contract.**  Workers are read-only; the
+supervisor owns change.  A mutation or hot-swap publishes a new
+generation (snapshot durably on disk *before* the ``CURRENT`` pointer
+flips) and then **recycles** the pool: every old worker drains —
+finishes the request it is serving, answers it, closes its connections,
+exits — and a fresh pool boots onto the new generation.  When
+:meth:`ProcessSupervisor.swap_snapshot` returns, no process that ever
+served the old generation is accepting, so every subsequent answer
+comes from the new snapshot: the PR 4 guarantee ("in-flight requests
+finish on their pinned engine; requests admitted after the flip see the
+new engine"), process edition.  Clients see a closed connection, not a
+stale answer, and reconnect.
+
+Requires a POSIX ``fork`` start method (the listening socket crosses by
+inheritance, never by pickling); :class:`ProcessSupervisor` refuses
+loudly elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import ServiceError
+from repro.io.generations import current_snapshot, publish_snapshot
+from repro.io.snapshot import load_engine
+from repro.service.protocol import MAX_FRAME_BYTES
+from repro.service.server import DEFAULT_HOST, _POLL_SECONDS, serve_connection
+from repro.service.service import QueryService
+
+#: Seconds a draining worker gets to finish in-flight requests before
+#: the supervisor escalates to SIGTERM.
+DRAIN_TIMEOUT = 8.0
+
+#: Seconds a freshly forked worker gets to load the snapshot and report
+#: ready before the spawn is declared failed.
+BOOT_TIMEOUT = 60.0
+
+
+def _worker_main(
+    listener: socket.socket,
+    control,
+    serving_dir,
+    service_config: Dict[str, Any],
+    max_frame: int,
+) -> None:
+    """A worker process: discover the generation, mmap it, serve.
+
+    Runs in the forked child.  ``control`` is this worker's end of the
+    supervisor pipe: the worker announces readiness on it, then watches
+    it for the drain message (supervisor death reads as EOF and drains
+    too, so orphaned workers exit instead of serving a dead topology).
+    """
+    # The supervisor owns Ctrl-C; workers drain via the control pipe.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    generation, snapshot = current_snapshot(serving_dir)
+    engine = load_engine(snapshot, mmap=True)
+    service = QueryService(engine, **service_config)
+    stop = threading.Event()
+
+    def watch_control() -> None:
+        try:
+            control.recv()  # any message (or supervisor EOF) means drain
+        except (EOFError, OSError):
+            pass
+        stop.set()
+
+    watcher = threading.Thread(target=watch_control, name="seal-worker-control", daemon=True)
+    watcher.start()
+
+    def meta() -> Dict[str, Any]:
+        return {"epoch": service.epoch, "generation": generation, "pid": os.getpid()}
+
+    connections: List[threading.Thread] = []
+    listener.settimeout(_POLL_SECONDS)
+    try:
+        with service:
+            control.send({"ready": os.getpid(), "generation": generation})
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=serve_connection,
+                    args=(conn, service),
+                    kwargs={"stop": stop, "meta": meta, "max_frame": max_frame},
+                    name="seal-worker-conn",
+                    daemon=True,
+                )
+                thread.start()
+                connections.append(thread)
+                connections = [t for t in connections if t.is_alive()]
+            for thread in connections:
+                thread.join(timeout=DRAIN_TIMEOUT)
+    finally:
+        listener.close()
+        try:
+            control.send({"drained": os.getpid()})
+        except (OSError, BrokenPipeError):  # pragma: no cover - supervisor gone
+            pass
+
+
+class _Worker:
+    """Supervisor-side handle: the process plus its control pipe."""
+
+    __slots__ = ("process", "control", "generation")
+
+    def __init__(self, process, control, generation: int) -> None:
+        self.process = process
+        self.control = control
+        self.generation = generation
+
+
+class ProcessSupervisor:
+    """Forks, feeds, recycles, and respawns the worker pool.
+
+    Args:
+        serving_dir: A serving directory with at least one published
+            generation (:func:`repro.io.generations.publish_snapshot`).
+        workers: Worker process count (≥ 1).
+        host: Interface the shared listening socket binds.
+        port: TCP port (0 picks a free one; see :attr:`address`).
+        service_config: Keyword arguments for each worker's in-process
+            :class:`~repro.service.service.QueryService` (cache knobs,
+            admission threads, …).  Defaults to the service defaults.
+        max_frame: Wire-protocol frame cap, both directions.
+        respawn: Automatically refork workers that die (the crash-
+            containment property the kill tests pin).  Recycled workers
+            are never respawned — only unexpected deaths.
+
+    Examples:
+        >>> generation, _ = publish_snapshot(dir, source_path=snap)  # doctest: +SKIP
+        >>> with ProcessSupervisor(dir, workers=4) as sup:           # doctest: +SKIP
+        ...     host, port = sup.address
+        ...     ...  # clients connect; sup.swap_snapshot(new) recycles
+    """
+
+    def __init__(
+        self,
+        serving_dir,
+        *,
+        workers: int = 2,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        service_config: Optional[Dict[str, Any]] = None,
+        max_frame: int = MAX_FRAME_BYTES,
+        respawn: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be a positive int")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ServiceError(
+                "multi-process serving needs the POSIX 'fork' start method "
+                "(the listening socket is inherited, not pickled); use "
+                "NetworkServer on this platform"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._serving_dir = serving_dir
+        self.workers = workers
+        self._host = host
+        self._port = port
+        self._service_config = dict(service_config or {})
+        self._max_frame = max_frame
+        self._respawn = respawn
+        self.respawns = 0
+        self.generation, _ = current_snapshot(serving_dir)  # fail loudly now
+        self._lock = threading.Lock()
+        self._pool: List[_Worker] = []
+        self._recycling = False
+        self._closed = False
+        self._listener: Optional[socket.socket] = None
+        self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ProcessSupervisor":
+        """Bind, fork the pool, start crash monitoring (idempotent)."""
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        self._listener = listener
+        with self._lock:
+            self._pool = [self._spawn() for _ in range(self.workers)]
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="seal-supervisor-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` clients connect to."""
+        if self._listener is None:
+            raise ServiceError("supervisor not started")
+        return self._listener.getsockname()[:2]
+
+    def worker_pids(self) -> List[int]:
+        """Live worker pids (diagnostics and the kill tests)."""
+        with self._lock:
+            return [
+                worker.process.pid
+                for worker in self._pool
+                if worker.process.is_alive()
+            ]
+
+    def _spawn(self) -> _Worker:
+        """Fork one worker onto the current generation; await readiness."""
+        generation, _ = current_snapshot(self._serving_dir)
+        parent_end, child_end = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._listener,
+                child_end,
+                self._serving_dir,
+                self._service_config,
+                self._max_frame,
+            ),
+            name=f"seal-worker-gen{generation}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        if not parent_end.poll(BOOT_TIMEOUT):
+            process.terminate()
+            raise ServiceError(
+                f"worker failed to become ready within {BOOT_TIMEOUT}s "
+                f"(generation {generation})"
+            )
+        try:
+            message = parent_end.recv()
+        except EOFError as exc:
+            process.join(timeout=1.0)
+            raise ServiceError(
+                f"worker died while booting generation {generation} "
+                f"(exitcode {process.exitcode})"
+            ) from exc
+        if not isinstance(message, dict) or "ready" not in message:
+            process.terminate()
+            raise ServiceError(f"worker sent unexpected boot message {message!r}")
+        return _Worker(process, parent_end, generation)
+
+    def _monitor_loop(self) -> None:
+        while not self._closed:
+            time.sleep(2 * _POLL_SECONDS)
+            if not self._respawn:
+                continue
+            with self._lock:
+                if self._recycling or self._closed:
+                    continue
+                for i, worker in enumerate(self._pool):
+                    if worker.process.is_alive():
+                        continue
+                    worker.control.close()
+                    try:
+                        self._pool[i] = self._spawn()
+                    except ServiceError:  # pragma: no cover - respawn keeps trying
+                        continue
+                    self.respawns += 1
+
+    # ------------------------------------------------------------------
+    # The cross-process epoch bump: publish + recycle
+    # ------------------------------------------------------------------
+
+    def swap_snapshot(self, snapshot_path) -> int:
+        """Publish an existing snapshot as the next generation and
+        recycle the pool onto it.  Returns the new generation."""
+        generation, _ = publish_snapshot(self._serving_dir, source_path=snapshot_path)
+        self._recycle()
+        return generation
+
+    def publish_engine(self, engine) -> int:
+        """Snapshot a live engine object into the serving directory as
+        the next generation and recycle onto it.  Returns the new
+        generation.  This is how supervisor-side mutations become
+        visible: apply them to your authoritative engine, then publish."""
+        generation, _ = publish_snapshot(self._serving_dir, engine=engine)
+        self._recycle()
+        return generation
+
+    def recycle(self) -> int:
+        """Drain every worker and refork the pool onto the *current*
+        generation (e.g. after an out-of-band publish).  Returns it."""
+        self._recycle()
+        return self.generation
+
+    def _recycle(self) -> None:
+        if self._listener is None:
+            raise ServiceError("supervisor not started")
+        with self._lock:
+            if self._closed:
+                raise ServiceError("supervisor is closed")
+            self._recycling = True
+            old = list(self._pool)
+        try:
+            self._drain(old)
+            fresh = [self._spawn() for _ in range(self.workers)]
+            with self._lock:
+                self._pool = fresh
+                self.generation, _ = current_snapshot(self._serving_dir)
+        finally:
+            with self._lock:
+                self._recycling = False
+
+    @staticmethod
+    def _drain(workers: List[_Worker]) -> None:
+        """Ask workers to finish in-flight requests and exit; escalate
+        to SIGTERM only past the drain grace."""
+        for worker in workers:
+            try:
+                worker.control.send("drain")
+            except (OSError, BrokenPipeError):
+                pass  # already dead; join below reaps it
+        deadline = time.monotonic() + DRAIN_TIMEOUT
+        for worker in workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            worker.control.close()
+
+    def close(self) -> None:
+        """Drain the pool, stop monitoring, release the port (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            old = list(self._pool)
+            self._pool = []
+        if self._monitor is not None:
+            self._monitor.join(timeout=DRAIN_TIMEOUT)
+        self._drain(old)
+        if self._listener is not None:
+            self._listener.close()
+
+    def __enter__(self) -> "ProcessSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"gen {self.generation}"
+        return (
+            f"ProcessSupervisor(workers={self.workers}, {state}, "
+            f"respawns={self.respawns})"
+        )

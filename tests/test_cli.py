@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -537,3 +539,179 @@ class TestServe:
         rc = main(["serve", str(engine), "--queries", str(workload), "--threads", "2"])
         assert rc == 0
         assert "SegmentedSealSearch" in capsys.readouterr().out
+
+
+class TestInspect:
+    @pytest.fixture()
+    def plain_engine(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "engine.pkl"
+        assert main(["build", str(corpus_file), "--method", "token",
+                     "--out", str(engine)]) == 0
+        capsys.readouterr()
+        return engine
+
+    def test_inspect_plain_snapshot(self, plain_engine, capsys):
+        rc = main(["inspect", str(plain_engine)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "format:             5" in out
+        assert "columnar arrays:" in out
+        assert "not a segmented engine" in out
+
+    def test_inspect_segmented_shows_manifest(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "live.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--segmented",
+              "--buffer-capacity", "4", "--out", str(engine)])
+        main(["delete", str(engine), "--oids", "0"])
+        capsys.readouterr()
+        rc = main(["inspect", str(engine)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 tombstones" in out
+        assert "segments:" in out
+
+    def test_inspect_serving_directory(self, plain_engine, tmp_path, capsys):
+        from repro.io import publish_snapshot
+
+        serving = tmp_path / "serving"
+        publish_snapshot(serving, source_path=plain_engine)
+        rc = main(["inspect", str(serving)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "current generation: 1" in out
+        assert str(plain_engine.resolve()) in out
+
+    def test_inspect_json_mode(self, plain_engine, capsys):
+        import json
+
+        rc = main(["inspect", str(plain_engine), "--json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == 5
+        assert document["num_arrays"] >= 1
+        assert document["sidecar"]["bytes"] > 0
+
+    def test_inspect_missing_path_is_friendly(self, tmp_path, capsys):
+        rc = main(["inspect", str(tmp_path / "nope.pkl")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestNetServeAndClient:
+    """End-to-end: `serve --net` in a child process, `client` against it."""
+
+    @pytest.fixture()
+    def engine_and_workload(self, corpus_file, tmp_path, figure1_query, capsys):
+        engine = tmp_path / "engine.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        workload = tmp_path / "q.jsonl"
+        save_queries([figure1_query], workload)
+        capsys.readouterr()
+        return engine, workload
+
+    def test_serve_without_net_requires_queries(self, engine_and_workload, capsys):
+        engine, _ = engine_and_workload
+        rc = main(["serve", str(engine)])
+        assert rc == 2
+        assert "--queries is required" in capsys.readouterr().err
+
+    def test_client_validates_counts(self, engine_and_workload, capsys):
+        _, workload = engine_and_workload
+        rc = main(["client", "--port", "1", "--queries", str(workload),
+                   "--connections", "0"])
+        assert rc == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_client_against_no_server_fails_loudly(self, engine_and_workload, capsys):
+        _, workload = engine_and_workload
+        # A port from the dynamic range with nothing listening.
+        rc = main(["client", "--port", "1", "--queries", str(workload),
+                   "--connections", "1", "--timeout", "2"])
+        assert rc == 2
+        assert "failed" in capsys.readouterr().err
+
+    def test_net_serve_client_oracle_round_trip(self, engine_and_workload, tmp_path):
+        import re
+        import signal as signal_module
+        import subprocess
+        import sys
+
+        engine, workload = engine_and_workload
+        env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(engine), "--net",
+             "--workers-procs", "2", "--port", "0", "--max-seconds", "120",
+             "--serving-dir", str(tmp_path / "serving")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            address = None
+            for line in server.stdout:
+                match = re.search(r"listening on ([\d.]+):(\d+)", line)
+                if match:
+                    address = match.group(1), int(match.group(2))
+                    break
+            assert address, "server never reported its address"
+
+            rc = main(["client", "--host", address[0], "--port", str(address[1]),
+                       "--queries", str(workload), "--connections", "2",
+                       "--repeat", "3", "--oracle", str(engine)])
+            assert rc == 0
+
+            server.send_signal(signal_module.SIGINT)
+            out, _ = server.communicate(timeout=60)
+            assert "drained" in out
+            assert server.returncode == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate()
+
+    def test_net_serve_client_oracle_output(self, engine_and_workload, tmp_path, capsys):
+        # The in-process half of the round trip: drive `client` against a
+        # ProcessSupervisor started through the library, checking output.
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        from repro.io import publish_snapshot
+        from repro.service import ProcessSupervisor
+
+        engine, workload = engine_and_workload
+        serving = tmp_path / "serving"
+        publish_snapshot(serving, source_path=engine)
+        with ProcessSupervisor(serving, workers=1) as supervisor:
+            host, port = supervisor.address
+            rc = main(["client", "--host", host, "--port", str(port),
+                       "--queries", str(workload), "--connections", "1",
+                       "--repeat", "2", "--oracle", str(engine)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drove 2 requests" in out
+        assert "identical to" in out
+
+    def test_net_serve_with_wal_boots_from_recovered_checkpoint(
+        self, corpus_file, tmp_path, capsys
+    ):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        engine, wal = tmp_path / "live.pkl", tmp_path / "live.wal"
+        main(["build", str(corpus_file), "--method", "token", "--segmented",
+              "--buffer-capacity", "4", "--out", str(engine),
+              "--wal", str(wal), "--wal-sync", "batch"])
+        # Leave an unreplayed tail in the log.
+        main(["update", str(engine), "--wal", str(wal), "--region", "0,0,5,5",
+              "--tokens", "t9"])
+        capsys.readouterr()
+        rc = main(["serve", str(engine), "--net", "--wal", str(wal),
+                   "--workers-procs", "1", "--max-seconds", "1.0",
+                   "--serving-dir", str(tmp_path / "serving")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert f"checkpointed to {engine}" in out
+        assert "listening on" in out
+        assert "drained" in out

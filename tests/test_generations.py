@@ -1,0 +1,153 @@
+"""Tests for snapshot generations (the cross-process epoch counter)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SegmentedSealSearch
+from repro.core.errors import SealError
+from repro.io.snapshot import SnapshotError
+from repro.io import (
+    GenerationError,
+    current_snapshot,
+    list_generations,
+    prune_generations,
+    publish_snapshot,
+    read_current,
+    save_engine,
+)
+from repro.io.snapshot import sidecar_path
+
+
+@pytest.fixture()
+def engine(figure1_objects):
+    pairs = [(obj.region, obj.tokens) for obj in figure1_objects]
+    return SegmentedSealSearch(pairs, "token", buffer_capacity=4)
+
+
+class TestPublish:
+    def test_first_publish_from_engine(self, engine, tmp_path):
+        serving = tmp_path / "serving"
+        generation, snapshot = publish_snapshot(serving, engine=engine)
+        assert generation == 1
+        assert snapshot == serving / "gen-000001.pkl"
+        assert snapshot.exists()
+        assert current_snapshot(serving) == (1, snapshot)
+
+    def test_generation_numbers_are_monotonic(self, engine, tmp_path):
+        serving = tmp_path / "serving"
+        assert publish_snapshot(serving, engine=engine)[0] == 1
+        assert publish_snapshot(serving, engine=engine)[0] == 2
+        assert publish_snapshot(serving, engine=engine)[0] == 3
+        assert read_current(serving)["generation"] == 3
+
+    def test_publish_existing_snapshot_by_reference(self, engine, tmp_path):
+        source = tmp_path / "engine.pkl"
+        save_engine(engine, source)
+        serving = tmp_path / "serving"
+        generation, snapshot = publish_snapshot(serving, source_path=source)
+        assert generation == 1
+        # Referenced in place, not copied into the serving directory.
+        assert snapshot == source.resolve()
+        assert list_generations(serving) == []
+        assert current_snapshot(serving) == (1, source.resolve())
+
+    def test_publish_rejects_garbage_source(self, tmp_path):
+        garbage = tmp_path / "junk.pkl"
+        garbage.write_bytes(b"not a snapshot")
+        with pytest.raises(SnapshotError):
+            publish_snapshot(tmp_path / "serving", source_path=garbage)
+        # The failed publish must not have repointed anything.
+        with pytest.raises(GenerationError):
+            read_current(tmp_path / "serving")
+
+    def test_publish_needs_exactly_one_source(self, engine, tmp_path):
+        with pytest.raises(GenerationError):
+            publish_snapshot(tmp_path / "serving")
+        with pytest.raises(GenerationError):
+            publish_snapshot(
+                tmp_path / "serving", engine=engine, source_path=tmp_path / "x.pkl"
+            )
+
+    def test_roundtrip_through_loader(self, engine, figure1_query, tmp_path):
+        from repro.io import load_engine
+
+        _, snapshot = publish_snapshot(tmp_path / "serving", engine=engine)
+        loaded = load_engine(snapshot, mmap=True)
+        q = figure1_query
+        assert (
+            loaded.search(q.region, q.tokens, q.tau_r, q.tau_t).answers
+            == engine.search(q.region, q.tokens, q.tau_r, q.tau_t).answers
+        )
+
+
+class TestReadCurrent:
+    def test_missing_pointer_is_loud(self, tmp_path):
+        with pytest.raises(GenerationError, match="publish a snapshot first"):
+            read_current(tmp_path)
+
+    def test_corrupt_pointer_is_loud(self, tmp_path):
+        (tmp_path / "CURRENT").write_text("{half a docu", encoding="utf-8")
+        with pytest.raises(GenerationError, match="corrupt"):
+            read_current(tmp_path)
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"generation": "one", "snapshot": "gen-000001.pkl"},
+            {"generation": 1},
+            {"snapshot": "gen-000001.pkl"},
+            [1, "gen-000001.pkl"],
+        ],
+    )
+    def test_malformed_pointer_is_loud(self, tmp_path, document):
+        (tmp_path / "CURRENT").write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(GenerationError):
+            read_current(tmp_path)
+
+    def test_dangling_snapshot_is_loud(self, tmp_path):
+        (tmp_path / "CURRENT").write_text(
+            json.dumps({"generation": 1, "snapshot": "gen-000001.pkl"}),
+            encoding="utf-8",
+        )
+        with pytest.raises(GenerationError, match="does not exist"):
+            current_snapshot(tmp_path)
+
+    def test_generation_error_is_a_seal_error(self):
+        assert issubclass(GenerationError, SealError)
+
+
+class TestPrune:
+    def test_prune_keeps_newest_and_active(self, engine, tmp_path):
+        serving = tmp_path / "serving"
+        for _ in range(4):
+            publish_snapshot(serving, engine=engine)
+        removed = prune_generations(serving, keep=2)
+        assert [p.name for p in removed] == ["gen-000001.pkl", "gen-000002.pkl"]
+        survivors = [p.name for p in list_generations(serving)]
+        assert survivors == ["gen-000003.pkl", "gen-000004.pkl"]
+        # The active generation still loads.
+        assert current_snapshot(serving)[0] == 4
+
+    def test_prune_removes_sidecars(self, engine, tmp_path):
+        serving = tmp_path / "serving"
+        publish_snapshot(serving, engine=engine)
+        publish_snapshot(serving, engine=engine)
+        publish_snapshot(serving, engine=engine)
+        first = serving / "gen-000001.pkl"
+        assert sidecar_path(first).exists()
+        removed = prune_generations(serving, keep=1)
+        assert first in removed
+        assert not sidecar_path(first).exists()
+
+    def test_prune_never_removes_active(self, engine, tmp_path):
+        serving = tmp_path / "serving"
+        publish_snapshot(serving, engine=engine)
+        assert prune_generations(serving, keep=1) == []
+        assert current_snapshot(serving)[0] == 1
+
+    def test_prune_validates_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            prune_generations(tmp_path, keep=0)

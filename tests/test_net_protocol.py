@@ -1,0 +1,301 @@
+"""Wire-protocol tests: codec roundtrips and hostile-frame robustness.
+
+The codec half is pure-function testing.  The transport half drives
+:func:`serve_connection` over a ``socketpair`` with a stub service so
+truncated frames, oversized/garbage length prefixes, client
+disconnects mid-conversation, and drain semantics are all pinned
+without binding a port.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro import Query, Rect
+from repro.core.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ProtocolError,
+    SealError,
+    ServiceError,
+)
+from repro.core.stats import SearchResult, SearchStats
+from repro.service.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    check_frame_length,
+    decode_payload,
+    encode_frame,
+    error_to_wire,
+    query_from_wire,
+    query_to_wire,
+    raise_from_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.service.server import serve_connection
+
+
+class TestCodec:
+    def test_query_roundtrip(self):
+        query = Query(Rect(1.0, 2.0, 3.5, 4.5), frozenset({"b", "a"}), 0.25, 0.4)
+        rebuilt = query_from_wire(query_to_wire(query))
+        assert rebuilt == query
+
+    def test_result_roundtrip(self):
+        result = SearchResult(
+            answers=[3, 1, 7],
+            stats=SearchStats(lists_probed=2, entries_retrieved=40, results=3),
+        )
+        rebuilt = result_from_wire(result_to_wire(result))
+        assert rebuilt.answers == [3, 1, 7]
+        assert rebuilt.stats.entries_retrieved == 40
+        assert rebuilt.stats.lists_probed == 2
+
+    def test_frame_roundtrip(self):
+        frame = encode_frame({"op": "ping"})
+        length = int.from_bytes(frame[:HEADER_BYTES], "big")
+        assert length == len(frame) - HEADER_BYTES
+        assert decode_payload(frame[HEADER_BYTES:]) == {"op": "ping"}
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * 64}, max_frame=32)
+
+    @pytest.mark.parametrize("length", [0, -1, MAX_FRAME_BYTES + 1])
+    def test_check_frame_length_rejects(self, length):
+        with pytest.raises(ProtocolError):
+            check_frame_length(length)
+
+    def test_http_masquerading_as_length_is_rejected(self):
+        # b"GET " read as a big-endian length is ~1.1 GB: the protocol
+        # must refuse before allocating anything.
+        length = int.from_bytes(b"GET ", "big")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            check_frame_length(length)
+
+    @pytest.mark.parametrize("body", [b"\xff\xfe garbage", b"[1, 2, 3]", b'"str"'])
+    def test_decode_rejects_non_object_bodies(self, body):
+        with pytest.raises(ProtocolError):
+            decode_payload(body)
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {},
+            {"region": [1, 2, 3], "tokens": [], "tau_r": 0.1, "tau_t": 0.1},
+            {"region": [1, 2, 3, True], "tokens": [], "tau_r": 0.1, "tau_t": 0.1},
+            {"region": [0, 0, 1, 1], "tokens": "ab", "tau_r": 0.1, "tau_t": 0.1},
+            {"region": [0, 0, 1, 1], "tokens": [1], "tau_r": 0.1, "tau_t": 0.1},
+            {"region": [0, 0, 1, 1], "tokens": [], "tau_t": 0.1},
+            {"region": [0, 0, 1, 1], "tokens": [], "tau_r": True, "tau_t": 0.1},
+            {"region": [0, 0, 1, 1], "tokens": [], "tau_r": 5.0, "tau_t": 0.1},
+        ],
+    )
+    def test_query_from_wire_rejects_malformed_fields(self, fields):
+        with pytest.raises(ProtocolError):
+            query_from_wire(fields)
+
+
+class TestErrorEnvelopes:
+    @pytest.mark.parametrize(
+        "exc", [AdmissionRejected("full"), DeadlineExceeded("late"), ProtocolError("bad")]
+    )
+    def test_seal_errors_roundtrip_to_their_own_type(self, exc):
+        with pytest.raises(type(exc), match=str(exc)):
+            raise_from_wire(error_to_wire(exc))
+
+    def test_unexpected_exceptions_are_masked(self):
+        wire = error_to_wire(KeyError("secret internal state"))
+        assert wire["kind"] == "ServiceError"
+        with pytest.raises(ServiceError):
+            raise_from_wire(wire)
+
+    def test_unknown_kind_degrades_to_service_error(self):
+        with pytest.raises(ServiceError, match="boom"):
+            raise_from_wire({"ok": False, "kind": "NoSuchError", "error": "boom"})
+
+
+# ----------------------------------------------------------------------
+# serve_connection over a socketpair
+# ----------------------------------------------------------------------
+
+
+class StubService:
+    """Answers every query with a fixed result; counts calls."""
+
+    epoch = 7
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def query(self, query):
+        self.calls += 1
+        return SearchResult(answers=[1, 2], stats=SearchStats(results=2))
+
+    def query_batch(self, queries):
+        return [self.query(q) for q in queries]
+
+    def metrics(self):
+        return {"epoch": self.epoch}
+
+
+@pytest.fixture()
+def conversation():
+    """A served socketpair: (client socket, stub service, stop event).
+
+    The server side runs in a thread; the fixture joins it on teardown so
+    a hung connection loop fails the test instead of leaking.
+    """
+    server_side, client_side = socket.socketpair()
+    service = StubService()
+    stop = threading.Event()
+    meta = lambda: {"epoch": service.epoch, "generation": None, "pid": 0}  # noqa: E731
+    thread = threading.Thread(
+        target=serve_connection,
+        args=(server_side, service),
+        kwargs={"stop": stop, "meta": meta, "max_frame": 4096},
+        daemon=True,
+    )
+    thread.start()
+    client_side.settimeout(5.0)
+    yield client_side, service, stop
+    stop.set()
+    client_side.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive(), "serve_connection failed to terminate"
+
+
+def _read_frame(sock: socket.socket) -> dict:
+    def exact(count: int) -> bytes:
+        chunks = b""
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            assert chunk, f"peer closed after {len(chunks)}/{count} bytes"
+            chunks += chunk
+        return chunks
+
+    length = int.from_bytes(exact(HEADER_BYTES), "big")
+    return decode_payload(exact(length))
+
+
+def _read_eof(sock: socket.socket) -> None:
+    assert sock.recv(1) == b"", "expected the server to close the connection"
+
+
+VALID_QUERY = {
+    "op": "query",
+    "region": [0.0, 0.0, 10.0, 10.0],
+    "tokens": ["a"],
+    "tau_r": 0.1,
+    "tau_t": 0.1,
+}
+
+
+class TestServeConnection:
+    def test_query_response_carries_identity(self, conversation):
+        client, service, _ = conversation
+        client.sendall(encode_frame(VALID_QUERY))
+        response = _read_frame(client)
+        assert response["ok"] is True
+        assert response["answers"] == [1, 2]
+        assert response["epoch"] == 7
+        assert service.calls == 1
+
+    def test_truncated_frame_answers_error_and_closes(self, conversation):
+        client, _, _ = conversation
+        # Claim 100 bytes, send 10, close our write side.
+        client.sendall((100).to_bytes(HEADER_BYTES, "big") + b"0123456789")
+        client.shutdown(socket.SHUT_WR)
+        response = _read_frame(client)
+        assert response["ok"] is False
+        assert response["kind"] == "ProtocolError"
+        assert "mid-frame" in response["error"]
+        _read_eof(client)
+
+    def test_oversized_length_prefix_is_rejected_before_read(self, conversation):
+        client, _, _ = conversation
+        # The first 4 bytes of an HTTP request read as a ≈1.1 GB length.
+        # (Only the prefix is sent: bytes left unread at close would RST
+        # the socketpair before the error frame could be read back.)
+        client.sendall(b"GET ")
+        response = _read_frame(client)
+        assert response["ok"] is False
+        assert response["kind"] == "ProtocolError"
+        _read_eof(client)
+
+    def test_zero_length_frame_is_rejected(self, conversation):
+        client, _, _ = conversation
+        client.sendall((0).to_bytes(HEADER_BYTES, "big"))
+        response = _read_frame(client)
+        assert response["ok"] is False
+        _read_eof(client)
+
+    def test_garbage_body_answers_error_and_closes(self, conversation):
+        client, _, _ = conversation
+        body = b"\xff\xfe not json"
+        client.sendall(len(body).to_bytes(HEADER_BYTES, "big") + body)
+        response = _read_frame(client)
+        assert response["ok"] is False
+        assert response["kind"] == "ProtocolError"
+        _read_eof(client)
+
+    def test_service_level_error_keeps_connection_open(self, conversation):
+        client, service, _ = conversation
+        client.sendall(encode_frame({"op": "no-such-op"}))
+        response = _read_frame(client)
+        assert response["ok"] is False
+        assert response["kind"] == "ProtocolError"
+        # Unlike a framing violation, the conversation continues.
+        client.sendall(encode_frame(VALID_QUERY))
+        assert _read_frame(client)["ok"] is True
+        assert service.calls == 1
+
+    def test_malformed_query_fields_answer_error(self, conversation):
+        client, service, _ = conversation
+        client.sendall(encode_frame({"op": "query", "region": "everywhere"}))
+        response = _read_frame(client)
+        assert response["ok"] is False
+        assert "region" in response["error"]
+        assert service.calls == 0
+
+    def test_client_disconnect_between_frames_is_clean(self, conversation):
+        client, _, _ = conversation
+        client.sendall(encode_frame(VALID_QUERY))
+        _read_frame(client)
+        client.shutdown(socket.SHUT_WR)
+        _read_eof(client)
+
+    def test_client_disconnect_mid_response_does_not_wedge(self, conversation):
+        # The client sends a request and vanishes without reading the
+        # answer; the server must just drop the connection (the fixture's
+        # join asserts the loop terminated).
+        client, _, _ = conversation
+        client.sendall(encode_frame(VALID_QUERY))
+        client.close()
+
+    def test_drain_finishes_in_flight_then_closes(self, conversation):
+        client, _, stop = conversation
+        client.sendall(encode_frame(VALID_QUERY))
+        assert _read_frame(client)["ok"] is True
+        stop.set()
+        _read_eof(client)
+
+    def test_batch_round_trip(self, conversation):
+        client, service, _ = conversation
+        fields = {k: v for k, v in VALID_QUERY.items() if k != "op"}
+        client.sendall(encode_frame({"op": "batch", "queries": [fields, fields]}))
+        response = _read_frame(client)
+        assert response["ok"] is True
+        assert [r["answers"] for r in response["results"]] == [[1, 2], [1, 2]]
+        assert service.calls == 2
+
+    def test_ping_and_metrics(self, conversation):
+        client, _, _ = conversation
+        client.sendall(encode_frame({"op": "ping"}))
+        assert _read_frame(client)["ok"] is True
+        client.sendall(encode_frame({"op": "metrics"}))
+        assert _read_frame(client)["metrics"] == {"epoch": 7}

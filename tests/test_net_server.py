@@ -1,0 +1,161 @@
+"""NetworkServer/NetworkClient: differential against the in-process oracle.
+
+The single-process threaded server is the answer-identity oracle for the
+multi-process pool, so it first has to be pinned against the thing *it*
+wraps: every networked answer must be bit-identical to calling the same
+:class:`QueryService` directly, on both index backends.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import SegmentedSealSearch
+from repro.core.errors import ProtocolError, ServiceError
+from repro.index.columnar import BACKENDS
+from repro.service import NetworkClient, NetworkServer, QueryService
+
+
+@pytest.fixture(params=BACKENDS)
+def service(request, twitter_small):
+    pairs = [(obj.region, obj.tokens) for obj in twitter_small]
+    engine = SegmentedSealSearch(
+        pairs, "token", buffer_capacity=64, backend=request.param
+    )
+    with QueryService(engine, enable_cache=False) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def served(service):
+    with NetworkServer(service) as server:
+        host, port = server.address
+        with NetworkClient(host, port, timeout=10.0) as client:
+            yield client, service
+
+
+class TestDifferential:
+    def test_networked_answers_match_direct_service(self, served, twitter_small_queries):
+        client, service = served
+        for query in twitter_small_queries:
+            networked = client.query(query)
+            direct = service.query(query)
+            assert networked.answers == direct.answers
+            # The instrumentation travels too, not just the oids.
+            assert networked.stats.results == direct.stats.results
+
+    def test_batch_matches_sequential(self, served, twitter_small_queries):
+        client, service = served
+        batched = client.query_batch(list(twitter_small_queries))
+        assert [r.answers for r in batched] == [
+            service.query(q).answers for q in twitter_small_queries
+        ]
+
+    def test_search_convenience_matches_query(self, served, twitter_small_queries):
+        client, _ = served
+        q = twitter_small_queries[0]
+        assert (
+            client.search(q.region, q.tokens, q.tau_r, q.tau_t).answers
+            == client.query(q).answers
+        )
+
+
+class TestIdentityAndErrors:
+    def test_responses_carry_serving_identity(self, served):
+        client, service = served
+        payload = client.ping()
+        assert payload["epoch"] == service.epoch
+        assert payload["generation"] is None  # single-process server
+        assert payload["pid"] == os.getpid()
+        assert client.last_meta["pid"] == os.getpid()
+
+    def test_epoch_bumps_are_visible_over_the_wire(self, served, twitter_small_queries):
+        client, service = served
+        before = client.ping()["epoch"]
+        q = twitter_small_queries[0]
+        service.insert(q.region, {"zzz-new-token"})
+        after = client.ping()["epoch"]
+        assert after == before + 1
+
+    def test_metrics_document_crosses_the_wire(self, served, twitter_small_queries):
+        client, _ = served
+        client.query(twitter_small_queries[0])
+        metrics = client.metrics()
+        assert metrics["requests"]["total"] >= 1
+
+    def test_server_side_validation_raises_locally(self, served):
+        client, _ = served
+        # Speak the raw protocol around the typed client surface: a
+        # malformed tau must come back as the same exception a local
+        # call would raise, with the connection still usable.
+        from repro.service.protocol import query_to_wire  # noqa: F401  (doc aid)
+
+        with pytest.raises(ProtocolError, match="tau_r"):
+            client._rpc({"op": "query", "region": [0, 0, 1, 1],
+                         "tokens": ["a"], "tau_r": "high", "tau_t": 0.1})
+        assert client.ping()["ok"] is True
+
+    def test_unknown_op_raises_protocol_error(self, served):
+        client, _ = served
+        with pytest.raises(ProtocolError, match="unknown op"):
+            client._rpc({"op": "teleport"})
+
+    def test_admission_shutdown_maps_to_service_error(self, twitter_small):
+        pairs = [(obj.region, obj.tokens) for obj in twitter_small[:50]]
+        engine = SegmentedSealSearch(pairs, "token", buffer_capacity=64)
+        service = QueryService(engine, enable_cache=False)
+        with NetworkServer(service) as server:
+            host, port = server.address
+            with NetworkClient(host, port, timeout=10.0) as client:
+                assert client.ping()["ok"] is True
+                service.close()  # the service dies under the server
+                with pytest.raises((ServiceError, ProtocolError)):
+                    client._rpc({"op": "query", "region": [0, 0, 1, 1],
+                                 "tokens": ["a"], "tau_r": 0.1, "tau_t": 0.1})
+
+
+class TestLifecycle:
+    def test_server_close_is_a_drain(self, service, twitter_small_queries):
+        server = NetworkServer(service)
+        server.start()
+        host, port = server.address
+        client = NetworkClient(host, port, timeout=10.0)
+        try:
+            assert client.query(twitter_small_queries[0]).answers is not None
+            server.close()
+            # The drained server's socket answers the *next* request with
+            # EOF — surfaced loudly, never as a silent empty answer.
+            with pytest.raises(ProtocolError):
+                client.query(twitter_small_queries[0])
+        finally:
+            client.close()
+        # The service outlives its server (the CLI owns both lifetimes).
+        assert service.query(twitter_small_queries[0]).answers is not None
+
+    def test_concurrent_clients_each_get_correct_answers(
+        self, served, twitter_small_queries
+    ):
+        client, service = served
+        # All threads talk to the server the fixture started; recover its
+        # address from the fixture client's socket.
+        host, port = client._sock.getpeername()[:2]
+        expected = [service.query(q).answers for q in twitter_small_queries]
+        errors: list = []
+
+        def drive() -> None:
+            try:
+                with NetworkClient(host, port, timeout=10.0) as mine:
+                    for i, query in enumerate(twitter_small_queries):
+                        assert mine.query(query).answers == expected[i]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors[:1]

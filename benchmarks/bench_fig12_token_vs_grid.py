@@ -14,22 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro import build_method
 from repro.bench import format_series_table, sweep
 
-from benchmarks.conftest import TAUS, emit, scaled_granularity
-
-#: Paper granularities; actual grids use the bench-space equivalents.
-GRANULARITIES = (256, 512, 1024)
+from benchmarks.conftest import GRANULARITIES, TAUS, emit
 
 
 @pytest.fixture(scope="module")
-def methods(twitter_corpus, twitter_weighter):
-    out = {"TokenFilter": build_method(twitter_corpus, "token", twitter_weighter)}
+def methods(twitter_method_matrix):
+    out = {"TokenFilter": twitter_method_matrix["token"]}
     for g in GRANULARITIES:
-        out[f"GridFilter({g})"] = build_method(
-            twitter_corpus, "grid", twitter_weighter, granularity=scaled_granularity(g)
-        )
+        out[f"GridFilter({g})"] = twitter_method_matrix[f"grid-{g}"]
     return out
 
 

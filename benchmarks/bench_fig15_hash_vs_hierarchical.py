@@ -23,16 +23,16 @@ import pytest
 from repro import build_method
 from repro.bench import format_table, measure_workload
 
-from benchmarks.conftest import emit, scaled_granularity
+from benchmarks.conftest import GRANULARITIES, emit, scaled_granularity
 
 TAU_R, TAU_T = 0.4, 0.1
 
 #: (α, per-token cap) pairs spanning tight → generous element budgets.
 HIERARCHICAL_CONFIGS = ((0.02, 128), (0.05, 256), (0.1, 512), (0.2, 1024))
 
-#: Hash grid fixed at the paper's finest granularity; the budget knob is
-#: the bucket count, as in Section 5.1.
-HASH_GRANULARITY = 1024
+#: Hash grid fixed at the paper's finest canonical granularity; the
+#: budget knob is the bucket count, as in Section 5.1.
+HASH_GRANULARITY = GRANULARITIES[-1]
 
 
 @pytest.fixture(scope="module")

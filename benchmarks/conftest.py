@@ -38,6 +38,10 @@ USA_FULL_SIDE = 21_749.0
 TAUS = (0.1, 0.2, 0.3, 0.4, 0.5)
 DEFAULT_TAU = 0.4
 
+#: Paper granularities the filter-comparison figures sweep; actual grids
+#: use the bench-space equivalents (see :func:`scaled_granularity`).
+GRANULARITIES = (256, 512, 1024)
+
 
 def density_scaled_space(full_side: float, num_objects: int) -> Rect:
     side = full_side * math.sqrt(num_objects / PAPER_N)
@@ -133,6 +137,64 @@ def usa_small_queries(usa_corpus):
 # ----------------------------------------------------------------------
 # Prebuilt methods (index construction excluded from query timings)
 # ----------------------------------------------------------------------
+
+
+class MethodMatrix:
+    """Lazily-built canonical method configurations, shared across benches.
+
+    The filter-comparison benches (Figures 12/14/15, the planner bench)
+    used to each build their own copies of the same indexes — the token
+    filter, grids and hybrids at the canonical granularities, the SEAL
+    configuration — multiplying session setup time.  This matrix builds
+    each configuration **on first access** and caches it for the session,
+    so every bench module shares one instance per configuration and a
+    module that never touches (say) ``hybrid-1024`` never pays for it.
+
+    Keys: ``token``, ``seal``, ``grid-<p>`` and ``hybrid-<p>`` for each
+    paper granularity ``p`` in :data:`GRANULARITIES` (the grids are built
+    at the bench-space-scaled equivalent).
+    """
+
+    def __init__(self, corpus, weighter) -> None:
+        self._corpus = corpus
+        self._weighter = weighter
+        self._built: dict = {}
+        self._specs: dict = {
+            "token": ("token", {}),
+            "seal": ("seal", {"mt": 32, "max_level": 8, "min_objects": 8}),
+        }
+        for g in GRANULARITIES:
+            self._specs[f"grid-{g}"] = (
+                "grid", {"granularity": scaled_granularity(g)},
+            )
+            self._specs[f"hybrid-{g}"] = (
+                "hash-hybrid",
+                {"granularity": scaled_granularity(g), "num_buckets": 1 << 20},
+            )
+
+    def __getitem__(self, key: str):
+        method = self._built.get(key)
+        if method is None:
+            name, knobs = self._specs[key]
+            method = self._built[key] = build_method(
+                self._corpus, name, self._weighter, **knobs
+            )
+        return method
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def knobs(self, key: str) -> dict:
+        """The constructor knobs of one configuration (a copy)."""
+        return dict(self._specs[key][1])
+
+
+@pytest.fixture(scope="session")
+def twitter_method_matrix(twitter_corpus, twitter_weighter):
+    return MethodMatrix(twitter_corpus, twitter_weighter)
 
 
 @pytest.fixture(scope="session")

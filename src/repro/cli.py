@@ -155,6 +155,16 @@ def _build_parser() -> argparse.ArgumentParser:
         wal_help="create a write-ahead log here; the snapshot becomes its "
                  "checkpoint base (requires --segmented)",
     )
+    build.add_argument(
+        "--planner-methods",
+        help="comma-separated method portfolio for --method planned "
+             "(default: token,grid,hash-hybrid,seal)",
+    )
+    build.add_argument(
+        "--coefficients",
+        help="planner cost coefficients JSON (from `plan --fit`) for "
+             "--method planned",
+    )
     for name, type_ in _METHOD_PARAMS.items():
         build.add_argument(f"--{name.replace('_', '-')}", type=type_, default=None)
     build.set_defaults(handler=_cmd_build)
@@ -229,7 +239,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="route through the concurrent query service (result cache + "
              "admission control) and print a service summary",
     )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the query planner's decision per query (planned engines)",
+    )
     query.set_defaults(handler=_cmd_query)
+
+    plan = sub.add_parser(
+        "plan",
+        help="explain or calibrate a planned engine: per-query method ranking, "
+             "record training rows, least-squares-fit cost coefficients",
+    )
+    plan.add_argument("engine", help="snapshot built with --method planned")
+    plan.add_argument("--region", help="x1,y1,x2,y2 of a single query")
+    plan.add_argument("--tokens", help="comma-separated tokens of that query")
+    plan.add_argument("--tau-r", type=float, default=0.4)
+    plan.add_argument("--tau-t", type=float, default=0.4)
+    plan.add_argument("--queries", help="JSONL workload instead of a single query")
+    plan.add_argument("--json", action="store_true",
+                      help="emit one machine-readable JSON document")
+    plan.add_argument(
+        "--record",
+        help="run every portfolio method per query and write "
+             "(features, predictions, observations) training rows here (JSONL)",
+    )
+    plan.add_argument(
+        "--fit",
+        help="least-squares-fit cost coefficients from the recorded rows and "
+             "write them here as JSON (requires --record)",
+    )
+    plan.add_argument(
+        "--apply", action="store_true",
+        help="rewrite the snapshot with the fitted coefficients (requires --fit)",
+    )
+    plan.set_defaults(handler=_cmd_plan)
 
     serve = sub.add_parser(
         "serve",
@@ -440,6 +483,14 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if manifest is None:
         print("manifest:           none (not a segmented engine)")
         return 0
+    if manifest.get("kind") == "planned":
+        print(f"engine:             planned over {manifest.get('methods')}")
+        print(f"objects:            {manifest.get('objects')}")
+        coefficients = manifest.get("coefficients") or {}
+        for name, values in sorted(coefficients.items()):
+            rendered = ", ".join(f"{v:.3g}" for v in values)
+            print(f"  cost[{name}]: [{rendered}]")
+        return 0
     print(f"engine:             {manifest.get('kind')} over "
           f"{manifest.get('method')!r}")
     print(f"objects:            {manifest.get('live')} live, "
@@ -464,13 +515,34 @@ def _cmd_build(args: argparse.Namespace) -> int:
     }
     # Knobs are method-specific; reject unsupported ones with a friendly
     # error instead of a constructor TypeError traceback (e.g. --backend
-    # on a baseline without a signature index).
-    accepted = inspect.signature(METHOD_REGISTRY[args.method]).parameters
-    unsupported = [name for name in params if name not in accepted]
+    # on a baseline without a signature index).  A ``**params``
+    # constructor (the planner wrapper) accepts the whole namespace and
+    # distributes knobs to its portfolio itself.
+    signature = inspect.signature(METHOD_REGISTRY[args.method])
+    accepts_any = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    )
+    unsupported = (
+        [] if accepts_any
+        else [name for name in params if name not in signature.parameters]
+    )
     if unsupported:
         flags = ", ".join("--" + name.replace("_", "-") for name in unsupported)
         print(f"error: method {args.method!r} does not accept {flags}", file=sys.stderr)
         return 2
+    if (args.planner_methods or args.coefficients) and args.method != "planned":
+        print("error: --planner-methods/--coefficients require --method planned",
+              file=sys.stderr)
+        return 2
+    if args.planner_methods:
+        params["methods"] = tuple(
+            m.strip() for m in args.planner_methods.split(",") if m.strip()
+        )
+    if args.coefficients:
+        from repro.exec.planner import load_coefficients
+
+        params["coefficients"] = load_coefficients(args.coefficients)
     if args.segmented and args.shards is not None:
         print("error: --segmented and --shards are mutually exclusive", file=sys.stderr)
         return 2
@@ -714,8 +786,27 @@ def _service_summary(service: QueryService) -> str:
     )
 
 
+def _explain_line(planner, query: Query) -> str:
+    """One-line planner decision summary for ``query --explain``."""
+    decision = planner.explain(query)
+    costs = ", ".join(
+        f"{name} {1000.0 * decision['estimates'][name]['cost_s']:.3f} ms"
+        for name in decision["ranking"]
+    )
+    return f"  plan: {decision['chosen']}  [{costs}]"
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = load_engine(args.engine, mmap=args.mmap)
+    planner = None
+    if args.explain:
+        from repro.exec.planner import iter_planners
+
+        planner = next(iter_planners(engine), None)
+        if planner is None:
+            print("error: --explain needs a planned engine "
+                  "(build --method planned)", file=sys.stderr)
+            return 2
     service = QueryService(engine) if args.via_service else None
     try:
         if args.batch_file:
@@ -730,6 +821,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             elapsed = time.perf_counter() - started
             for i, result in enumerate(results):
                 print(_print_answers(i, result, args.show))
+                if planner is not None:
+                    print(_explain_line(planner, queries[i]))
             qps = len(results) / elapsed if elapsed else 0.0
             mean_ms = 1000.0 * elapsed / len(results) if results else 0.0
             print(f"batch: {len(results)} queries in {elapsed:.3f}s "
@@ -759,12 +852,101 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"{_print_answers(i, result, args.show)} — "
                   f"{1000 * result.stats.total_seconds:.2f} ms, "
                   f"{result.stats.candidates} candidates")
+            if planner is not None:
+                print(_explain_line(planner, query))
         if service is not None:
             print(_service_summary(service))
         return 0
     finally:
         if service is not None:
             service.close()
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exec.planner import fit_coefficients, iter_planners, save_coefficients
+
+    if args.fit and not args.record:
+        print("error: --fit requires --record (it calibrates from the "
+              "recorded rows)", file=sys.stderr)
+        return 2
+    if args.apply and not args.fit:
+        print("error: --apply requires --fit", file=sys.stderr)
+        return 2
+    engine = load_engine(args.engine)
+    # A segmented planned engine embeds one planner per segment; they
+    # share portfolio and coefficients, so the first one explains for
+    # all and fitted coefficients are installed on every one below.
+    planners = list(iter_planners(engine))
+    if not planners:
+        print(f"error: {args.engine} holds no query planner; "
+              "build with --method planned", file=sys.stderr)
+        return 2
+    if args.queries:
+        queries = list(load_queries(args.queries))
+    else:
+        if not args.region or args.tokens is None:
+            print("error: provide --region and --tokens, or --queries",
+                  file=sys.stderr)
+            return 2
+        region = _parse_region(args.region)
+        if region is None:
+            print("error: --region needs x1,y1,x2,y2", file=sys.stderr)
+            return 2
+        tokens = frozenset(t for t in args.tokens.split(",") if t)
+        queries = [Query(region, tokens, args.tau_r, args.tau_t)]
+
+    document: dict = {"engine": args.engine, "queries": []}
+    planner = planners[0]
+    for query in queries:
+        document["queries"].append(planner.explain(query))
+
+    record_note = fit_note = ""
+    if args.record:
+        for p in planners:
+            p.start_recording(args.record)
+        for query in queries:
+            _engine_search(engine, query)
+        rows = [row for p in planners for row in p.recorded_rows]
+        # One combined write: with several embedded planners the
+        # auto-flush would otherwise interleave partial files.
+        atomic_write_text(
+            args.record,
+            "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows),
+        )
+        document["recorded"] = {"rows": len(rows), "path": args.record}
+        record_note = f"recorded {len(rows)} training rows to {args.record}"
+        if args.fit:
+            fitted = fit_coefficients(rows)
+            save_coefficients(fitted, args.fit)
+            for p in planners:
+                p.set_coefficients(fitted)
+            document["fitted"] = {"methods": sorted(fitted), "path": args.fit}
+            fit_note = f"fitted coefficients for {sorted(fitted)} -> {args.fit}"
+            if args.apply:
+                save_engine(engine, args.engine)
+                fit_note += f"; snapshot {args.engine} updated"
+
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    tally: dict = {}
+    for i, (query, decision) in enumerate(zip(queries, document["queries"])):
+        tally[decision["chosen"]] = tally.get(decision["chosen"], 0) + 1
+        costs = ", ".join(
+            f"{name} {1000.0 * decision['estimates'][name]['cost_s']:.3f} ms"
+            for name in decision["ranking"]
+        )
+        print(f"query {i}: -> {decision['chosen']}  [{costs}]")
+    if len(queries) > 1:
+        summary = ", ".join(f"{name}: {count}" for name, count in sorted(tally.items()))
+        print(f"selections over {len(queries)} queries: {summary}")
+    if record_note:
+        print(record_note)
+    if fit_note:
+        print(fit_note)
+    return 0
 
 
 def _service_config(args: argparse.Namespace) -> dict:

@@ -26,6 +26,18 @@ from repro.filters.token_filter import TokenFilter
 from repro.geometry import Rect
 from repro.text.weights import TokenWeighter
 
+def _build_planned(objects, weighter=None, **params) -> SearchMethod:
+    """Registry wrapper for the query planner.
+
+    Deferred import: the planner lives in :mod:`repro.exec.planner` and
+    itself calls :func:`build_method` to assemble its method portfolio,
+    so a top-level import here would cycle.
+    """
+    from repro.exec.planner import PlannedSealSearch
+
+    return PlannedSealSearch(objects, weighter, **params)
+
+
 #: method name -> constructor; every constructor accepts
 #: (objects, weighter=None, **params).
 METHOD_REGISTRY: Dict[str, Callable[..., SearchMethod]] = {
@@ -37,6 +49,7 @@ METHOD_REGISTRY: Dict[str, Callable[..., SearchMethod]] = {
     "grid": GridFilter,
     "hash-hybrid": HybridFilter,
     "seal": HierarchicalFilter,
+    "planned": _build_planned,
 }
 
 
@@ -51,7 +64,8 @@ def build_method(
     Args:
         objects: The corpus (dense oids).
         name: One of ``naive``, ``keyword-first``, ``spatial-first``,
-            ``irtree``, ``token``, ``grid``, ``hash-hybrid``, ``seal``.
+            ``irtree``, ``token``, ``grid``, ``hash-hybrid``, ``seal``,
+            ``planned`` (cost-model dispatch over a method portfolio).
         weighter: Shared idf statistics; building several methods over the
             same corpus with one weighter keeps similarity semantics (and
             work) shared.

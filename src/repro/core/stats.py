@@ -32,6 +32,18 @@ class SearchStats:
         results: Number of final answers.
         filter_seconds: Wall time spent in the filter step.
         verify_seconds: Wall time spent in the verification step.
+        method: Which search method produced these counters.  The
+            execution pipeline stamps the method's registry name; the
+            planner refines it to ``planned:<chosen>``; fan-out engines
+            label the merged aggregate and keep the per-source labels in
+            ``per_source``.
+        per_source: For fan-out engines (segments + write buffer): one
+            stats entry per probed source, in source order, each carrying
+            its own ``method`` label — so planner training rows and
+            observability stay attributable after the counters are
+            summed.  Empty for single-index engines, and deliberately
+            *not* accumulated by :meth:`merge` (workload totals would
+            otherwise grow one entry per query).
     """
 
     lists_probed: int = 0
@@ -41,6 +53,8 @@ class SearchStats:
     results: int = 0
     filter_seconds: float = 0.0
     verify_seconds: float = 0.0
+    method: str = ""
+    per_source: List["SearchStats"] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -56,10 +70,17 @@ class SearchStats:
             results=self.results,
             filter_seconds=self.filter_seconds,
             verify_seconds=self.verify_seconds,
+            method=self.method,
+            per_source=[source.copy() for source in self.per_source],
         )
 
     def merge(self, other: "SearchStats") -> None:
-        """Accumulate another query's counters into this one (workload totals)."""
+        """Accumulate another query's counters into this one (workload totals).
+
+        ``method`` keeps this aggregate's own label and ``per_source`` is
+        left untouched: cross-query totals sum counters, they do not
+        concatenate per-source breakdowns.
+        """
         self.lists_probed += other.lists_probed
         self.entries_retrieved += other.entries_retrieved
         self.entries_matched += other.entries_matched

@@ -15,6 +15,9 @@
 * :mod:`repro.exec.durable` — :class:`DurableSegmentedSealSearch`: the
   segmented engine behind a write-ahead log — mutations logged before
   applied, checkpoint/recovery via ``snapshot + WAL tail``.
+* :mod:`repro.exec.planner` — :class:`PlannedSealSearch`: per-query
+  cost-model dispatch over a portfolio of answer-identical methods, with
+  a record→fit→serve calibration loop and planner decision metrics.
 
 Every executor preserves exact answer semantics: batching and sharding
 change *throughput*, never results.
@@ -31,11 +34,15 @@ __all__ = [
     "DurableSegmentedSealSearch",
     "Executor",
     "PARTITION_POLICIES",
+    "PlannedSealSearch",
+    "PlannerMetrics",
     "SegmentedSealSearch",
     "SerialExecutor",
     "ShardedSealSearch",
     "ShardedSearchResult",
+    "collect_planner_metrics",
     "execute_query",
+    "fit_coefficients",
     "get_partition_policy",
     "recover",
     "shutdown_shared_pool",
@@ -46,7 +53,11 @@ __all__ = [
 #: import here would cycle.  Lazy resolution breaks the loop.
 _LAZY = {
     "DurableSegmentedSealSearch": "repro.exec.durable",
+    "PlannedSealSearch": "repro.exec.planner",
+    "PlannerMetrics": "repro.exec.planner",
     "SegmentedSealSearch": "repro.exec.segments",
+    "collect_planner_metrics": "repro.exec.planner",
+    "fit_coefficients": "repro.exec.planner",
     "ShardedSealSearch": "repro.exec.sharded",
     "ShardedSearchResult": "repro.exec.sharded",
     "recover": "repro.exec.durable",

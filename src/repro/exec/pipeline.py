@@ -50,8 +50,10 @@ def execute_query(
     Returns:
         The answers (sorted by oid) plus filled :class:`SearchStats`.
     """
-    stats = SearchStats()
+    stats = SearchStats(method=getattr(method, "name", type(method).__name__))
     watch = Stopwatch()
+    # ``candidates`` may refine the label (the planner stamps the method
+    # it dispatched to), so it is set before — never after — the filter.
     candidate_oids = method.candidates(query, stats)
     stats.filter_seconds = watch.lap()
     stats.candidates = len(candidate_oids)

@@ -378,9 +378,14 @@ class SegmentedSealSearch:
     ) -> SearchResult:
         tombstones = self._tombstones
         answers: List[int] = []
-        stats = SearchStats()
+        # The aggregate sums counters but keeps attribution: each source's
+        # stats (with its own ``method`` label, stamped by execute_query)
+        # survives in ``per_source``, so training rows and observability
+        # can tell which segment index did the work.
+        stats = SearchStats(method=f"segmented:{self._method_name}")
         for result, to_global in zip(results, mappings):
             stats.merge(result.stats)
+            stats.per_source.append(result.stats.copy())
             answers.extend(
                 oid
                 for oid in (to_global[local] for local in result.answers)

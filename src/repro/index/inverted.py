@@ -169,3 +169,15 @@ class InvertedIndex(Generic[Key, PList]):
             return self.store.row_length(row) if row is not None else 0
         plist = self._lists.get(element)
         return len(plist) if plist is not None else 0
+
+    def average_list_length(self) -> float:
+        """Mean postings per non-empty list (0.0 for an empty index).
+
+        O(1) on the columnar backend, O(lists) on the python oracle; the
+        query planner computes it once per sub-index at registration and
+        uses the cached value to price probes without touching postings.
+        """
+        num_lists = len(self)
+        if num_lists == 0:
+            return 0.0
+        return self.num_postings() / num_lists

@@ -65,6 +65,27 @@ class LatencyHistogram:
         with self._lock:
             return self._count
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Bucket counts and sums add exactly; percentiles of the merged
+        histogram are therefore as accurate as if every observation had
+        landed here.  Snapshot-then-apply keeps the two locks from ever
+        being held together (no ordering, no deadlock).
+        """
+        with other._lock:
+            counts = list(other._counts)
+            count = other._count
+            sum_ms = other._sum_ms
+            max_ms = other._max_ms
+        with self._lock:
+            for i, bucket_count in enumerate(counts):
+                self._counts[i] += bucket_count
+            self._count += count
+            self._sum_ms += sum_ms
+            if max_ms > self._max_ms:
+                self._max_ms = max_ms
+
     def percentile(self, q: float) -> float:
         """Estimated q-th percentile in milliseconds (``0 < q <= 100``).
 

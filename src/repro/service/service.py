@@ -125,6 +125,33 @@ class QueryService:
         self._histogram = LatencyHistogram()
         self._counters = RequestCounters()
 
+    @classmethod
+    def from_data(
+        cls,
+        data: Iterable[tuple[Rect, Iterable[str]]],
+        *,
+        method: str = "planned",
+        engine_params: Dict[str, Any] | None = None,
+        **service_params,
+    ) -> "QueryService":
+        """Build a service straight from ``(region, tokens)`` pairs.
+
+        The default engine is the query planner (``method="planned"``):
+        a fresh deployment gets per-query method dispatch — and the
+        ``planner`` metrics block — without choosing a filter up front.
+
+        Args:
+            data: The ROIs to index.
+            method: Engine method registry name.
+            engine_params: Method-constructor knobs (``granularity``,
+                ``methods``, ``coefficients``, …).
+            **service_params: Passed to :class:`QueryService`.
+        """
+        from repro.core.engine import SealSearch
+
+        engine = SealSearch(data, method=method, **(engine_params or {}))
+        return cls(engine, **service_params)
+
     # ------------------------------------------------------------------
     # Query paths
     # ------------------------------------------------------------------
@@ -313,8 +340,14 @@ class QueryService:
         (totals/batches/errors), ``cache`` (hit/miss/eviction counters,
         or ``None`` with the cache disabled), ``admission``
         (workers/queue/rejections), ``latency_ms`` (histogram with
-        mean/max and interpolated p50/p90/p99).
+        mean/max and interpolated p50/p90/p99), ``planner`` (aggregated
+        decision counts, per-method filter latency, and mispredicts
+        when the engine embeds query planners — ``None`` otherwise).
         """
+        # Deferred import: repro.exec.planner builds its portfolio via
+        # the engine registry, which this module's engines feed into.
+        from repro.exec.planner import collect_planner_metrics
+
         engine, epoch = self._manager.current
         return {
             "epoch": epoch,
@@ -323,6 +356,7 @@ class QueryService:
             "cache": self._cache.counters() if self._cache is not None else None,
             "admission": self._admission.counters(),
             "latency_ms": self._histogram.as_dict(),
+            "planner": collect_planner_metrics(engine),
         }
 
     def metrics_json(self, *, indent: int | None = 2) -> str:

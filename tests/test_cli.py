@@ -715,3 +715,128 @@ class TestNetServeAndClient:
         assert f"checkpointed to {engine}" in out
         assert "listening on" in out
         assert "drained" in out
+
+
+class TestPlan:
+    """`build --method planned`, `plan`, and `query --explain` smoke."""
+
+    @pytest.fixture()
+    def planned_engine(self, corpus_file, tmp_path):
+        engine = tmp_path / "planned.pkl"
+        rc = main(["build", str(corpus_file), "--method", "planned",
+                   "--granularity", "8", "--mt", "4", "--out", str(engine)])
+        assert rc == 0
+        return engine
+
+    def test_build_accepts_all_knobs_for_planned(self, corpus_file, tmp_path, capsys):
+        # The planner wrapper takes **params; the knob validation must
+        # not reject flags it cannot see in the signature.
+        rc = main(["build", str(corpus_file), "--method", "planned",
+                   "--granularity", "8", "--mt", "4", "--backend", "columnar",
+                   "--out", str(tmp_path / "p.pkl")])
+        assert rc == 0
+        assert "built planned over 7 objects" in capsys.readouterr().out
+
+    def test_inspect_shows_planner_manifest(self, planned_engine, capsys):
+        rc = main(["inspect", str(planned_engine)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planned over" in out
+        assert "cost[seal]" in out
+
+    def test_inspect_json_manifest_kind(self, planned_engine, capsys):
+        import json
+
+        rc = main(["inspect", str(planned_engine), "--json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["manifest"]["kind"] == "planned"
+        assert "token" in document["manifest"]["methods"]
+
+    def test_query_explain(self, planned_engine, capsys):
+        rc = main(["query", str(planned_engine), "--region", "35,10,75,70",
+                   "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3",
+                   "--explain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 answers [1]" in out
+        assert "plan:" in out
+
+    def test_query_explain_rejects_unplanned_engine(self, corpus_file, tmp_path,
+                                                    capsys):
+        engine = tmp_path / "token.pkl"
+        main(["build", str(corpus_file), "--method", "token", "--out", str(engine)])
+        capsys.readouterr()
+        rc = main(["query", str(engine), "--region", "35,10,75,70",
+                   "--tokens", "t1", "--explain"])
+        assert rc == 2
+        assert "planned engine" in capsys.readouterr().err
+
+    def test_plan_single_query(self, planned_engine, capsys):
+        rc = main(["plan", str(planned_engine), "--region", "35,10,75,70",
+                   "--tokens", "t1,t2,t3", "--tau-r", "0.25", "--tau-t", "0.3"])
+        assert rc == 0
+        assert "query 0: ->" in capsys.readouterr().out
+
+    def test_plan_record_fit_apply(self, planned_engine, corpus_file, tmp_path,
+                                   capsys, figure1_query):
+        queries = tmp_path / "q.jsonl"
+        save_queries([figure1_query], queries)
+        rows = tmp_path / "rows.jsonl"
+        coeffs = tmp_path / "coeffs.json"
+        rc = main(["plan", str(planned_engine), "--queries", str(queries),
+                   "--record", str(rows), "--fit", str(coeffs), "--apply"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 training rows" in out
+        assert "snapshot" in out and "updated" in out
+        assert rows.exists() and coeffs.exists()
+        # The rewritten snapshot still answers (and carries coefficients).
+        rc = main(["query", str(planned_engine), "--queries", str(queries)])
+        assert rc == 0
+        assert "1 answers [1]" in capsys.readouterr().out
+
+    def test_plan_json_document(self, planned_engine, capsys):
+        import json
+
+        rc = main(["plan", str(planned_engine), "--region", "35,10,75,70",
+                   "--tokens", "t1", "--json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["queries"][0]["chosen"] in document["queries"][0]["ranking"]
+
+    def test_plan_rejects_unplanned_engine(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "grid.pkl"
+        main(["build", str(corpus_file), "--method", "grid", "--out", str(engine)])
+        capsys.readouterr()
+        rc = main(["plan", str(engine), "--region", "0,0,1,1", "--tokens", "t1"])
+        assert rc == 2
+        assert "no query planner" in capsys.readouterr().err
+
+    def test_plan_fit_requires_record(self, planned_engine, capsys):
+        rc = main(["plan", str(planned_engine), "--region", "0,0,1,1",
+                   "--tokens", "t1", "--fit", "c.json"])
+        assert rc == 2
+        assert "--fit requires --record" in capsys.readouterr().err
+
+    def test_planner_flags_require_planned_method(self, corpus_file, tmp_path,
+                                                  capsys):
+        rc = main(["build", str(corpus_file), "--method", "token",
+                   "--planner-methods", "token,grid",
+                   "--out", str(tmp_path / "x.pkl")])
+        assert rc == 2
+        assert "--method planned" in capsys.readouterr().err
+
+    def test_build_with_planner_methods_subset(self, corpus_file, tmp_path, capsys):
+        engine = tmp_path / "duo.pkl"
+        rc = main(["build", str(corpus_file), "--method", "planned",
+                   "--planner-methods", "token,grid", "--granularity", "8",
+                   "--out", str(engine)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["inspect", str(engine), "--json"])
+        assert rc == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["manifest"]["methods"] == ["token", "grid"]

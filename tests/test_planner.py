@@ -1,0 +1,428 @@
+"""PlannedSealSearch: differential identity, dispatch, record→fit, metrics.
+
+The planner's entire value rests on one invariant — dispatching to *any*
+registry method yields bit-identical answers, so choosing per query is
+free — and on its observability being truthful.  These tests pin:
+
+* answer identity against every fixed registry method, on both index
+  backends, including the degenerate-threshold regimes where methods
+  fall back to full scans;
+* dispatch sanity: vacuous thresholds steer the planner *away* from the
+  degenerate methods;
+* the record → fit → serve calibration workflow, including the JSONL
+  row schema, coefficient persistence, and the mispredict counter;
+* stats attribution (PR 7's satellite bugfix): ``SearchStats.method``
+  labels survive pipelines and segment fan-out keeps per-source
+  breakdowns instead of erasing them in the merge;
+* the planner inside every execution shape: BatchExecutor, segmented
+  engine under churn, QueryService (``planner`` metrics block), network
+  server, snapshot save/load.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Query, Rect, SealSearch, SegmentedSealSearch, build_method
+from repro.core.errors import ConfigurationError
+from repro.core.stats import SearchStats
+from repro.exec.batch import BatchExecutor
+from repro.exec.planner import (
+    DEFAULT_COEFFICIENTS,
+    DEFAULT_METHODS,
+    PlannedSealSearch,
+    collect_planner_metrics,
+    fit_coefficients,
+    iter_planners,
+    load_coefficients,
+    save_coefficients,
+)
+from repro.index.columnar import BACKENDS
+
+#: Small knobs so each (backend-parameterized) portfolio builds fast.
+KNOBS = dict(granularity=32, mt=8, max_level=6, min_objects=4)
+
+
+def _mixed_queries(base_queries):
+    """The base workload plus its degenerate-threshold variants."""
+    out = list(base_queries)
+    out.extend(q.with_thresholds(tau_r=0.3, tau_t=0.0) for q in base_queries[:3])
+    out.extend(q.with_thresholds(tau_r=0.0, tau_t=0.3) for q in base_queries[:3])
+    return out
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def planner(backend, twitter_small, twitter_small_weighter):
+    return PlannedSealSearch(
+        twitter_small, twitter_small_weighter, backend=backend, **KNOBS
+    )
+
+
+@pytest.fixture(scope="module")
+def fixed_methods(backend, twitter_small, twitter_small_weighter):
+    """Every registry method (not just the portfolio), same knobs."""
+    out = {}
+    for name in ("naive", "keyword-first", "spatial-first", "irtree",
+                 "token", "grid", "hash-hybrid", "seal"):
+        params = {}
+        if name in ("token", "grid", "hash-hybrid", "seal"):
+            params["backend"] = backend
+        if name in ("grid", "hash-hybrid"):
+            params["granularity"] = KNOBS["granularity"]
+        if name == "seal":
+            params.update(mt=KNOBS["mt"], max_level=KNOBS["max_level"],
+                          min_objects=KNOBS["min_objects"])
+        out[name] = build_method(twitter_small, name, twitter_small_weighter, **params)
+    return out
+
+
+class TestDifferentialIdentity:
+    def test_bit_identical_to_every_registry_method(
+        self, planner, fixed_methods, twitter_small_queries
+    ):
+        for query in _mixed_queries(list(twitter_small_queries)):
+            expected = None
+            for name, method in fixed_methods.items():
+                answers = method.search(query).answers
+                if expected is None:
+                    expected = answers
+                assert answers == expected, f"{name} diverged on {query}"
+            assert planner.search(query).answers == expected
+
+    def test_batch_executor_matches_per_query(self, planner, twitter_small_queries):
+        queries = _mixed_queries(list(twitter_small_queries))
+        batched = BatchExecutor().run(planner, queries)
+        assert [r.answers for r in batched] == [
+            planner.search(q).answers for q in queries
+        ]
+
+
+class TestPlanning:
+    def test_plan_ranks_all_methods_cheapest_first(self, planner, twitter_small_queries):
+        estimates = planner.plan(twitter_small_queries[0])
+        assert sorted(e.method for e in estimates) == sorted(DEFAULT_METHODS)
+        costs = [e.cost for e in estimates]
+        assert costs == sorted(costs)
+
+    def test_explain_document(self, planner, twitter_small_queries):
+        decision = planner.explain(twitter_small_queries[0])
+        assert decision["chosen"] == decision["ranking"][0]
+        assert set(decision["estimates"]) == set(DEFAULT_METHODS)
+        for estimate in decision["estimates"].values():
+            assert set(estimate) == {"lists", "entries", "candidates", "cost_s"}
+        features = decision["features"]
+        assert features["num_tokens"] == len(twitter_small_queries[0].tokens)
+        assert features["tau_r"] == twitter_small_queries[0].tau_r
+        # The document must be JSON-ready as-is (the CLI prints it).
+        json.dumps(decision)
+
+    def test_vacuous_textual_threshold_avoids_token(self, planner, twitter_small_queries):
+        query = twitter_small_queries[0].with_thresholds(tau_r=0.3, tau_t=0.0)
+        # token/hybrid/seal all degenerate to a full scan here; only the
+        # grid filter still prunes, and the estimator knows it exactly.
+        assert planner.choose(query) == "grid"
+
+    def test_vacuous_spatial_threshold_avoids_grid(self, planner, twitter_small_queries):
+        query = twitter_small_queries[0].with_thresholds(tau_r=0.0, tau_t=0.3)
+        assert planner.choose(query) == "token"
+
+    def test_stats_method_label_refined_to_chosen(self, planner, twitter_small_queries):
+        query = twitter_small_queries[0]
+        result = planner.search(query)
+        assert result.stats.method == f"planned:{planner.choose(query)}"
+
+    def test_selection_metrics_count_dispatches(self, twitter_small, twitter_small_weighter,
+                                                twitter_small_queries):
+        fresh = PlannedSealSearch(twitter_small, twitter_small_weighter, **KNOBS)
+        for query in twitter_small_queries:
+            fresh.search(query)
+        metrics = fresh.metrics.as_dict()
+        assert metrics["decisions"] == len(twitter_small_queries)
+        assert sum(metrics["selections"].values()) == len(twitter_small_queries)
+        for latency in metrics["filter_latency_ms"].values():
+            assert latency["count"] > 0
+
+    def test_index_size_sums_portfolio(self, planner):
+        report = planner.index_size()
+        total = sum(m.index_size().num_postings for m in planner.methods.values())
+        assert report.num_postings == total
+
+
+class TestConfiguration:
+    def test_empty_portfolio_rejected(self, twitter_small):
+        with pytest.raises(ConfigurationError):
+            PlannedSealSearch(twitter_small, methods=())
+
+    def test_unknown_method_rejected(self, twitter_small):
+        with pytest.raises(ConfigurationError):
+            PlannedSealSearch(twitter_small, methods=("token", "nope"))
+
+    def test_planner_over_itself_rejected(self, twitter_small):
+        with pytest.raises(ConfigurationError):
+            PlannedSealSearch(twitter_small, methods=("planned",))
+
+    def test_duplicate_methods_rejected(self, twitter_small):
+        with pytest.raises(ConfigurationError):
+            PlannedSealSearch(twitter_small, methods=("token", "token"))
+
+    def test_bad_coefficient_arity_rejected(self, twitter_small):
+        planner = PlannedSealSearch(twitter_small, methods=("token", "grid"),
+                                    granularity=16)
+        with pytest.raises(ConfigurationError):
+            planner.set_coefficients({"token": [1.0, 2.0]})
+
+    def test_registry_and_facade_build_planned(self, twitter_small):
+        method = build_method(twitter_small, "planned", granularity=16, mt=4)
+        assert sorted(method.methods) == sorted(DEFAULT_METHODS)
+        facade = SealSearch(
+            [(o.region, o.tokens) for o in twitter_small],
+            method="planned", granularity=16, mt=4,
+        )
+        assert isinstance(facade.method, PlannedSealSearch)
+
+
+class TestRecordFitServe:
+    @pytest.fixture()
+    def recording_planner(self, tmp_path, twitter_small, twitter_small_weighter):
+        return PlannedSealSearch(
+            twitter_small, twitter_small_weighter,
+            record_to=str(tmp_path / "rows.jsonl"), **KNOBS,
+        )
+
+    def test_rows_schema_and_flush(self, recording_planner, twitter_small_queries):
+        for query in twitter_small_queries[:4]:
+            recording_planner.search(query)
+        path = recording_planner.flush_recording()
+        rows = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert len(rows) == 4
+        for row in rows:
+            assert set(row) == {"features", "chosen", "predicted", "observed"}
+            assert set(row["observed"]) == set(DEFAULT_METHODS)
+            for truth in row["observed"].values():
+                assert truth["seconds"] >= 0.0
+                assert set(truth) == {"lists", "entries", "candidates",
+                                      "results", "seconds"}
+
+    def test_fit_updates_coefficients(self, recording_planner, twitter_small_queries):
+        for query in twitter_small_queries:
+            recording_planner.search(query)
+        before = {m: list(v) for m, v in recording_planner.coefficients.items()}
+        fitted = recording_planner.fit()
+        assert set(fitted) == set(DEFAULT_METHODS)
+        assert all(len(v) == 4 for v in fitted.values())
+        assert recording_planner.coefficients != before
+
+    def test_coefficients_roundtrip(self, tmp_path, recording_planner,
+                                    twitter_small_queries):
+        for query in twitter_small_queries[:6]:
+            recording_planner.search(query)
+        fitted = recording_planner.fit()
+        path = str(tmp_path / "coeffs.json")
+        save_coefficients(fitted, path)
+        assert load_coefficients(path) == {
+            m: [float(v) for v in vals] for m, vals in fitted.items()
+        }
+
+    def test_load_coefficients_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99}')
+        with pytest.raises(ConfigurationError):
+            load_coefficients(str(path))
+
+    def test_fit_from_path(self, recording_planner, twitter_small_queries):
+        for query in twitter_small_queries[:5]:
+            recording_planner.search(query)
+        path = recording_planner.flush_recording()
+        fitted = fit_coefficients(path)
+        assert set(fitted) == set(DEFAULT_METHODS)
+
+    def test_mispredicts_counted_under_perverse_coefficients(
+        self, tmp_path, twitter_small, twitter_small_weighter, twitter_small_queries
+    ):
+        # Force the planner to always pick naive-worst estimates: zero
+        # cost for seal, huge for everything else.  Recording measures
+        # the truth, so mispredicts must accumulate.
+        planner = PlannedSealSearch(
+            twitter_small, twitter_small_weighter,
+            record_to=str(tmp_path / "rows.jsonl"),
+            coefficients={
+                "seal": [0.0, 0.0, 0.0, 0.0],
+                "token": [1e9, 0.0, 0.0, 0.0],
+                "grid": [1e9, 0.0, 0.0, 0.0],
+                "hash-hybrid": [1e9, 0.0, 0.0, 0.0],
+            },
+            **KNOBS,
+        )
+        for query in twitter_small_queries:
+            assert planner.choose(query) == "seal"
+            planner.search(query)
+        assert planner.metrics.as_dict()["mispredicts"] > 0
+
+    def test_default_coefficients_are_positive(self):
+        assert all(c > 0 for c in DEFAULT_COEFFICIENTS)
+
+
+class TestStatsAttribution:
+    """PR 7's satellite bugfix: method labels + per-source breakdowns."""
+
+    def test_fixed_method_stamps_registry_name(self, fixed_methods,
+                                               twitter_small_queries):
+        result = fixed_methods["token"].search(twitter_small_queries[0])
+        assert result.stats.method == "token"
+
+    def test_copy_preserves_attribution(self):
+        stats = SearchStats(method="token", lists_probed=3)
+        stats.per_source.append(SearchStats(method="grid", lists_probed=1))
+        clone = stats.copy()
+        assert clone.method == "token"
+        assert clone.per_source[0].method == "grid"
+        clone.per_source[0].lists_probed = 99
+        assert stats.per_source[0].lists_probed == 1  # deep, not shared
+
+    def test_merge_does_not_concatenate_sources(self):
+        a = SearchStats(method="a")
+        a.per_source.append(SearchStats(method="x"))
+        b = SearchStats(method="b")
+        b.per_source.append(SearchStats(method="y"))
+        a.merge(b)
+        assert a.method == "a"
+        assert [s.method for s in a.per_source] == ["x"]
+
+    def test_segment_fanout_preserves_per_source_stats(self, twitter_small,
+                                                       twitter_small_queries):
+        pairs = [(o.region, o.tokens) for o in twitter_small]
+        # Bulk load seals one segment; the post-construction inserts
+        # seal a second, so the fan-out genuinely crosses segments.
+        engine = SegmentedSealSearch(pairs[:300], "token", buffer_capacity=512,
+                                     merge_fanout=8)
+        for region, tokens in pairs[300:]:
+            engine.insert(region, tokens)
+        engine.flush()
+        assert engine.num_segments >= 2
+        result = engine.search_query(twitter_small_queries[0])
+        stats = result.stats
+        assert stats.method == "segmented:token"
+        assert len(stats.per_source) >= 2
+        for source in stats.per_source:
+            assert source.method == "token"
+        # The aggregate is exactly the sum of its sources — attribution
+        # came back without breaking the totals.
+        assert stats.lists_probed == sum(s.lists_probed for s in stats.per_source)
+        assert stats.candidates == sum(s.candidates for s in stats.per_source)
+
+
+class TestSegmentedChurn:
+    def test_planned_segmented_matches_token_segmented_under_churn(
+        self, backend, twitter_small, twitter_small_queries
+    ):
+        pairs = [(o.region, o.tokens) for o in twitter_small[:200]]
+        planned = SegmentedSealSearch(
+            pairs, "planned", buffer_capacity=64, backend=backend, **KNOBS
+        )
+        oracle = SegmentedSealSearch(pairs, "token", buffer_capacity=64,
+                                     backend=backend)
+        for engine in (planned, oracle):
+            for obj in twitter_small[200:260]:
+                engine.insert(obj.region, obj.tokens)
+            for oid in (3, 17, 42, 210):
+                engine.delete(oid)
+            engine.flush()
+        for query in _mixed_queries(list(twitter_small_queries)):
+            assert (
+                planned.search_query(query).answers
+                == oracle.search_query(query).answers
+            )
+
+    def test_collect_metrics_aggregates_segments(self, twitter_small,
+                                                 twitter_small_queries):
+        pairs = [(o.region, o.tokens) for o in twitter_small]
+        engine = SegmentedSealSearch(pairs[:300], "planned", buffer_capacity=512,
+                                     merge_fanout=8, **KNOBS)
+        for region, tokens in pairs[300:]:
+            engine.insert(region, tokens)
+        engine.flush()
+        assert sum(1 for _ in iter_planners(engine)) >= 2
+        for query in twitter_small_queries[:4]:
+            engine.search_query(query)
+        metrics = collect_planner_metrics(engine)
+        # Every segment dispatches per query, so decisions >= queries.
+        assert metrics["decisions"] >= 4
+        assert sum(metrics["selections"].values()) == metrics["decisions"]
+
+
+class TestServiceAndSnapshots:
+    def test_service_metrics_planner_block(self, twitter_small, twitter_small_queries):
+        from repro.service import QueryService
+
+        facade = SealSearch(
+            [(o.region, o.tokens) for o in twitter_small], method="planned", **KNOBS
+        )
+        with QueryService(facade, enable_cache=False) as service:
+            for query in twitter_small_queries[:5]:
+                service.query(query)
+            metrics = service.metrics()
+        block = metrics["planner"]
+        assert block is not None
+        assert block["decisions"] == 5
+        assert set(block) == {"decisions", "selections", "mispredicts",
+                              "filter_latency_ms"}
+        json.dumps(metrics)  # the whole document stays JSON-ready
+
+    def test_service_metrics_planner_none_without_planner(self, twitter_small):
+        from repro.service import QueryService
+
+        facade = SealSearch([(o.region, o.tokens) for o in twitter_small],
+                            method="token")
+        with QueryService(facade, enable_cache=False) as service:
+            assert service.metrics()["planner"] is None
+
+    def test_from_data_defaults_to_planner(self, twitter_small, twitter_small_queries):
+        from repro.service import QueryService
+
+        service = QueryService.from_data(
+            [(o.region, o.tokens) for o in twitter_small],
+            engine_params=KNOBS, enable_cache=False,
+        )
+        with service:
+            result = service.query(twitter_small_queries[0])
+            assert result.stats.method.startswith("planned:")
+            assert service.metrics()["planner"]["decisions"] == 1
+
+    def test_snapshot_roundtrip(self, tmp_path, planner, twitter_small_queries):
+        from repro.io import load_engine, save_engine
+        from repro.io.snapshot import read_manifest
+
+        path = tmp_path / "planned.pkl"
+        save_engine(planner, path)
+        manifest = read_manifest(path)
+        assert manifest["kind"] == "planned"
+        assert sorted(manifest["methods"]) == sorted(DEFAULT_METHODS)
+        loaded = load_engine(path)
+        for query in twitter_small_queries[:4]:
+            assert loaded.search(query).answers == planner.search(query).answers
+        # Fresh counters, recording off: transient state is not persisted.
+        assert loaded.metrics.as_dict()["decisions"] == 4
+        assert loaded.flush_recording() is None
+
+    def test_network_server_serves_planned_engine(self, twitter_small,
+                                                  twitter_small_queries):
+        from repro.service import NetworkClient, NetworkServer, QueryService
+
+        pairs = [(o.region, o.tokens) for o in twitter_small]
+        engine = SegmentedSealSearch(pairs, "planned", buffer_capacity=150, **KNOBS)
+        with QueryService(engine, enable_cache=False) as service:
+            with NetworkServer(service) as server:
+                host, port = server.address
+                with NetworkClient(host, port, timeout=10.0) as client:
+                    for query in twitter_small_queries[:5]:
+                        networked = client.query(query)
+                        direct = service.query(query)
+                        assert networked.answers == direct.answers
+            assert service.metrics()["planner"]["decisions"] > 0

@@ -263,7 +263,9 @@ class TestMetrics:
             metrics = service.metrics()
         assert set(metrics) == {
             "epoch", "engine", "requests", "cache", "admission", "latency_ms",
+            "planner",
         }
+        assert metrics["planner"] is None  # no planned engine in play
         assert metrics["epoch"] == 0
         assert metrics["engine"] == "SealSearch"
         assert metrics["requests"]["total"] == 12

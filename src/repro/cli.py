@@ -26,6 +26,10 @@ Everything the library does, scriptable without writing Python::
     seal-repro serve engine.pkl --queries queries.jsonl --threads 4 \\
         --repeat 8 --metrics-out metrics.json
     seal-repro serve engine.pkl --net --port 7471 --workers-procs 4
+    seal-repro serve live.pkl --net --port 7471 --wal live.wal --replicate
+    seal-repro serve replica-state --net --port 7472 \\
+        --replica-of 127.0.0.1:7471
+    seal-repro inspect replica-state --json
     seal-repro client --port 7471 --queries queries.jsonl \\
         --connections 4 --repeat 8 --oracle engine.pkl
     seal-repro update live.pkl --region 10,10,20,20 --tokens coffee
@@ -319,6 +323,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="memory-map the snapshot's columnar-array sidecar")
     serve.add_argument("--metrics-out",
                        help="write the metrics JSON here (default: print to stdout)")
+    serve.add_argument(
+        "--replicate", action="store_true",
+        help="with --net --wal: serve one durable primary process that ships "
+             "its WAL to subscribing replicas (repl-* ops), instead of the "
+             "forked read-only worker pool",
+    )
+    serve.add_argument(
+        "--replica-of", metavar="HOST:PORT",
+        help="serve as a read replica tailing this primary (--net); the "
+             "engine argument is the replica's state directory (local resume "
+             "checkpoint + lineage live there), not a snapshot path",
+    )
+    serve.add_argument(
+        "--replica-poll", type=float, default=0.05,
+        help="seconds between replica fetches once caught up (--replica-of)",
+    )
+    serve.add_argument(
+        "--replica-checkpoint-records", type=int, default=1024,
+        help="applied records between the replica's local resume checkpoints "
+             "(--replica-of)",
+    )
     _add_wal_args(
         serve,
         wal_help="recover the engine from snapshot + this WAL before serving, "
@@ -418,26 +443,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_replica_status(status: dict) -> None:
+    lag = status.get("lag_bytes")
+    print(f"replica:            {status.get('replica')} "
+          f"(of {status.get('primary')})")
+    print(f"applied lineage:    generation {status.get('generation')}, "
+          f"offset {status.get('offset')}")
+    print(f"lag:                "
+          f"{'unknown' if lag is None else f'{lag} bytes'}; "
+          f"{status.get('applied_records')} records applied over "
+          f"{status.get('shipments')} shipments "
+          f"({status.get('bootstraps')} bootstrap(s), via "
+          f"{status.get('source')})")
+    if status.get("last_error"):
+        print(f"last error:         {status['last_error']}")
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
     from repro.io.generations import current_snapshot, list_generations
     from repro.io.snapshot import sidecar_path, validate_snapshot
+    from repro.service.replication import (
+        REPLICA_SNAPSHOT_NAME,
+        read_replica_status,
+    )
 
     path = Path(args.snapshot)
     document: dict = {}
     if path.is_dir():
-        # A serving directory: report the generation catalog, then
-        # inspect the generation workers would boot from.
-        generation, snapshot = current_snapshot(path)
-        document["serving_dir"] = {
-            "path": str(path),
-            "generation": generation,
-            "snapshot": str(snapshot),
-            "generations_on_disk": [p.name for p in list_generations(path)],
-        }
-        path = snapshot
+        replica_status = read_replica_status(path)
+        if replica_status is not None:
+            # A replica state directory: report the tailing status, then
+            # inspect the local resume checkpoint (if one landed yet).
+            document["replica"] = replica_status
+            snapshot = path / REPLICA_SNAPSHOT_NAME
+            if not snapshot.exists():
+                document["snapshot"] = None
+                if args.json:
+                    print(json.dumps(document, indent=2, sort_keys=True))
+                else:
+                    _print_replica_status(replica_status)
+                    print("snapshot:           none (no local checkpoint yet)")
+                return 0
+            path = snapshot
+        else:
+            # A serving directory: report the generation catalog, then
+            # inspect the generation workers would boot from.
+            generation, snapshot = current_snapshot(path)
+            document["serving_dir"] = {
+                "path": str(path),
+                "generation": generation,
+                "snapshot": str(snapshot),
+                "generations_on_disk": [p.name for p in list_generations(path)],
+            }
+            path = snapshot
     info = validate_snapshot(path)
     sidecar = sidecar_path(path)
     document.update(
@@ -458,6 +519,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
+    if "replica" in document:
+        _print_replica_status(document["replica"])
     if "serving_dir" in document:
         catalog = document["serving_dir"]
         print(f"serving dir:        {catalog['path']}")
@@ -969,6 +1032,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.deadline_ms is not None and args.deadline_ms <= 0:
         print("error: --deadline-ms must be positive", file=sys.stderr)
         return 2
+    if args.replica_of:
+        if not args.net:
+            print("error: --replica-of requires --net", file=sys.stderr)
+            return 2
+        if args.wal:
+            print("error: a replica keeps no local WAL; it resumes from its "
+                  "state directory and the primary's log", file=sys.stderr)
+            return 2
+        return _serve_replica(args)
+    if args.replicate and not args.net:
+        print("error: --replicate requires --net", file=sys.stderr)
+        return 2
     if args.net:
         return _serve_net(args)
     if not args.queries:
@@ -1044,6 +1119,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_stop_signals(stop) -> None:
+    """SIGINT/SIGTERM set the event (main thread only — tests call the
+    serve handlers from worker threads, where signal() would raise)."""
+    import signal
+    import threading
+
+    def on_signal(signum, frame) -> None:
+        stop.set()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, on_signal)
+        signal.signal(signal.SIGTERM, on_signal)
+
+
+def _wait_until_stopped(stop, max_seconds) -> None:
+    deadline = time.monotonic() + max_seconds if max_seconds is not None else None
+    while not stop.is_set():
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(0.2)
+
+
+def _serve_primary(args: argparse.Namespace) -> int:
+    """A single durable process shipping its WAL to subscribing replicas."""
+    import threading
+
+    from repro.service import NetworkServer, QueryService, ReplicationPrimary
+
+    if not args.wal:
+        print("error: --replicate requires --wal (replication ships the "
+              "write-ahead log)", file=sys.stderr)
+        return 2
+    durable = recover_engine(args.engine, args.wal, sync=args.wal_sync, mmap=args.mmap)
+    print(_recovery_summary(durable))
+    stop = threading.Event()
+    _install_stop_signals(stop)
+    service = QueryService(durable, **_service_config(args))
+    replication = ReplicationPrimary(durable)
+    service.replication = replication
+    try:
+        with service, NetworkServer(service, host=args.host, port=args.port) as server:
+            host, port = server.address
+            position = durable.stable_position
+            print(f"listening on {host}:{port} — durable primary shipping WAL "
+                  f"generation {position['generation']} (replicas join with "
+                  f"--replica-of {host}:{port})", flush=True)
+            _wait_until_stopped(stop, args.max_seconds)
+            status = replication.status()
+            print(f"shipped {status['records_shipped']} records over "
+                  f"{status['shipments']} shipments to "
+                  f"{len(status['replicas'])} replica(s)")
+            service.checkpoint()
+            print(f"checkpointed to {durable.snapshot_path}; "
+                  f"WAL {args.wal} truncated")
+    finally:
+        durable.close()
+    return 0
+
+
+def _serve_replica(args: argparse.Namespace) -> int:
+    """A read replica: tail the primary's WAL, serve queries locally."""
+    import threading
+    from pathlib import Path
+
+    from repro.service import NetworkServer, QueryService
+    from repro.service.replication import ReplicaApplier
+
+    host, _, port_text = args.replica_of.rpartition(":")
+    if not host or not port_text.isdigit():
+        print("error: --replica-of takes HOST:PORT", file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    _install_stop_signals(stop)
+    applier = ReplicaApplier(
+        host,
+        int(port_text),
+        root=Path(args.engine),
+        poll_interval=args.replica_poll,
+        checkpoint_records=args.replica_checkpoint_records,
+        mmap=args.mmap,
+    )
+    try:
+        applier.start()
+    except (SealError, OSError) as exc:
+        print(f"error: could not bootstrap from {args.replica_of}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        service = QueryService(applier.manager, **_service_config(args))
+        # Route repl-* ops to the applier: it refuses them loudly (no
+        # chained replication), and metrics gain the replica block.
+        service.replication = applier
+        with service, NetworkServer(
+            service, host=args.host, port=args.port, generation=applier.generation
+        ) as server:
+            bind_host, bind_port = server.address
+            status = applier.status()
+            print(f"replica {status['replica']} bootstrapped via "
+                  f"{status['source']} at generation {status['generation']}, "
+                  f"offset {status['offset']}")
+            print(f"listening on {bind_host}:{bind_port} — read replica "
+                  f"tailing {args.replica_of} "
+                  f"(cache {'off' if args.no_cache else 'on'})", flush=True)
+            _wait_until_stopped(stop, args.max_seconds)
+    finally:
+        applier.stop()
+    status = applier.status()
+    print(f"replica stopped at generation {status['generation']}, offset "
+          f"{status['offset']}: {status['applied_records']} records applied "
+          f"over {status['shipments']} shipments, "
+          f"{status['bootstraps']} bootstrap(s)")
+    return 0
+
+
 def _serve_net(args: argparse.Namespace) -> int:
     """The multi-process network server: publish, fork, serve, drain."""
     import signal
@@ -1053,6 +1242,8 @@ def _serve_net(args: argparse.Namespace) -> int:
     from repro.io.generations import publish_snapshot
     from repro.service import ProcessSupervisor
 
+    if args.replicate:
+        return _serve_primary(args)
     if args.workers_procs < 1:
         print("error: --workers-procs must be positive", file=sys.stderr)
         return 2

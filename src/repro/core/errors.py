@@ -41,6 +41,16 @@ class DeadlineExceeded(ServiceError):
     """A request's deadline passed before a worker could start it."""
 
 
+class ReplicationError(ServiceError):
+    """The replication plane could not keep a replica aligned.
+
+    Raised on divergence (a lineage marker the primary's log cannot
+    serve, a shipped frame failing its checksum, replay drift) — the
+    loud signal that a replica must re-bootstrap from a checkpoint
+    snapshot rather than keep serving answers of unknown provenance.
+    """
+
+
 class ProtocolError(ServiceError):
     """A network frame violated the wire protocol, or the peer vanished.
 

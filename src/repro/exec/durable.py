@@ -66,7 +66,55 @@ def _engine_from_config(config: Dict) -> SegmentedSealSearch:
     )
 
 
-def _apply(engine: SegmentedSealSearch, payload: Dict, *, path: Path) -> None:
+def engine_from_config(config: Dict) -> SegmentedSealSearch:
+    """An empty segmented engine matching a WAL/replication config record.
+
+    The public face of the bootstrap path: a replication replica with no
+    snapshot to ship starts from exactly the engine the primary's WAL
+    config record describes, then replays the stream — the same
+    construction :func:`recover` uses for a wal-only recovery.
+    """
+    return _engine_from_config(config)
+
+
+def apply_record(engine: SegmentedSealSearch, payload: Dict, *, source: Any = "stream") -> None:
+    """Replay one WAL operation record onto ``engine``.
+
+    The replay-from-stream hook: replication replicas feed shipped
+    records through this so a streamed apply is *bit-identical* to a
+    crash recovery's replay of the same log — oid determinism is
+    verified the same way, and an unknown or drifted record raises
+    :class:`~repro.io.wal.WALError` loudly (the caller re-bootstraps
+    rather than serving wrong answers).
+
+    Args:
+        engine: The segmented engine to mutate (the *raw* engine — the
+            stream is already a log, so logging again would double it).
+        payload: One decoded record (``{"op": ..., ...}``).
+        source: A label for error messages (a path or peer name).
+    """
+    _apply(engine, payload, path=source)
+
+
+def replay_records(
+    engine: SegmentedSealSearch, payloads: Iterable[Dict], *, source: Any = "stream"
+) -> int:
+    """Replay a run of records in order; returns how many applied.
+
+    ``config`` records (a log's self-description) are skipped, matching
+    :meth:`repro.io.wal.WALContents.operations` — everything else goes
+    through :func:`apply_record`.
+    """
+    applied = 0
+    for payload in payloads:
+        if payload.get("op") == "config":
+            continue
+        apply_record(engine, payload, source=source)
+        applied += 1
+    return applied
+
+
+def _apply(engine: SegmentedSealSearch, payload: Dict, *, path: Any) -> None:
     """Replay one logged operation onto ``engine``, verifying determinism."""
     op = payload["op"]
     if op == "insert":
@@ -120,6 +168,14 @@ class DurableSegmentedSealSearch:
         self._engine = engine
         self._wal = wal
         self._snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        # The sealed (shippable) watermark: log position after the last
+        # mutation whose *apply* completed.  Between an append and its
+        # apply the log runs ahead of the engine, and an apply failure
+        # rolls the record back off the tail — replication must never
+        # ship inside that window, or a replica could replay an
+        # operation the primary never acknowledged.  One tuple, replaced
+        # atomically, so readers on other threads see a consistent pair.
+        self._stable = (wal.generation, wal.position)
         #: The :func:`recover` report that produced this engine, or None.
         self.recovery = recovery
 
@@ -176,10 +232,12 @@ class DurableSegmentedSealSearch:
         """
         offset = self._wal.append(record)
         try:
-            return apply()
+            result = apply()
         except BaseException:
             self._wal.rollback(offset)
             raise
+        self._stable = (self._wal.generation, self._wal.position)
+        return result
 
     def insert(self, region: Rect, tokens: Iterable[str]) -> int:
         """Log then apply one insert; returns the global oid."""
@@ -259,6 +317,7 @@ class DurableSegmentedSealSearch:
         # markers match, so checkpointing a shared WAL against another
         # snapshot path can never silently orphan this one.
         self._wal.reset(parent=position)
+        self._stable = (self._wal.generation, self._wal.position)
         self._snapshot_path = target
         return target
 
@@ -290,6 +349,14 @@ class DurableSegmentedSealSearch:
     def snapshot_path(self) -> Optional[Path]:
         """Default checkpoint destination (the last one written)."""
         return self._snapshot_path
+
+    @property
+    def stable_position(self) -> Dict[str, int]:
+        """The sealed ``{"generation", "offset"}`` replication may ship
+        through — every record before it was applied and acknowledged
+        (never subject to a rollback)."""
+        generation, offset = self._stable
+        return {"generation": generation, "offset": offset}
 
     def __len__(self) -> int:
         return len(self._engine)

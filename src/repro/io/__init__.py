@@ -20,12 +20,24 @@ from repro.io.generations import (
     read_current,
 )
 from repro.io.snapshot import load_engine, read_manifest, save_engine, validate_snapshot
-from repro.io.wal import WALError, WriteAheadLog, read_wal
+from repro.io.wal import (
+    WALCursor,
+    WALError,
+    WALLineageError,
+    WALShipment,
+    WriteAheadLog,
+    decode_frames,
+    read_wal,
+)
 
 __all__ = [
     "GenerationError",
+    "WALCursor",
     "WALError",
+    "WALLineageError",
+    "WALShipment",
     "WriteAheadLog",
+    "decode_frames",
     "atomic_write",
     "atomic_write_bytes",
     "atomic_write_text",

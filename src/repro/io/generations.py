@@ -118,10 +118,17 @@ def publish_snapshot(
     if (engine is None) == (source_path is None):
         raise GenerationError("publish exactly one of engine= or source_path=")
     directory.mkdir(parents=True, exist_ok=True)
+    # The next generation derives from *both* lineage witnesses — the
+    # pointer and the gen-* files already on disk.  A lost or corrupt
+    # CURRENT must not restart the counter at 1: that would overwrite
+    # gen-000001.pkl under workers still mmapping it and regress the
+    # monotonic cross-process epoch the supervisor (and replication
+    # lineage markers) depend on.
     try:
-        generation = read_current(directory)["generation"] + 1
+        pointer_generation = read_current(directory)["generation"]
     except GenerationError:
-        generation = 1
+        pointer_generation = 0
+    generation = max(pointer_generation, _highest_generation_file(directory)) + 1
     if engine is not None:
         snapshot = directory / f"{GENERATION_PREFIX}{generation:06d}.pkl"
         save_engine(engine, snapshot)
@@ -135,6 +142,16 @@ def publish_snapshot(
         json.dumps({"generation": generation, "snapshot": pointer_target}) + "\n",
     )
     return generation, snapshot
+
+
+def _highest_generation_file(directory: Path) -> int:
+    """The largest ``gen-NNNNNN.pkl`` number on disk (0 when none parse)."""
+    highest = 0
+    for entry in list_generations(directory):
+        digits = entry.stem[len(GENERATION_PREFIX):]
+        if digits.isdigit():
+            highest = max(highest, int(digits))
+    return highest
 
 
 def list_generations(directory: "str | Path") -> List[Path]:
@@ -166,9 +183,15 @@ def prune_generations(directory: "str | Path", *, keep: int = 2) -> List[Path]:
         _, active = current_snapshot(directory)
     except GenerationError:
         active = None
+    # Compare *resolved* paths: publish_snapshot(source_path=...) stores
+    # a resolve()d absolute target while list_generations yields
+    # directory-relative entries, so under a symlinked serving dir the
+    # same file has two spellings — an unresolved == would prune the
+    # active snapshot out from under live workers.
+    active = active.resolve() if active is not None else None
     removed: List[Path] = []
     for snapshot in list_generations(directory)[:-keep]:
-        if active is not None and snapshot == active:
+        if active is not None and snapshot.resolve() == active:
             continue
         sidecar = sidecar_path(snapshot)
         snapshot.unlink()

@@ -84,10 +84,35 @@ _MAGIC = b"SEALWAL\x00"
 _HEADER = struct.Struct("<8sIQ")  # magic, format, generation
 _FRAME = struct.Struct("<II")  # payload byte length, crc32(payload)
 
+#: Fixed header size in bytes — the offset of the first record frame.
+#: Replication lineage markers count bytes from the start of the file,
+#: so a freshly reset log's position is exactly this.
+HEADER_SIZE = _HEADER.size
+
 
 class WALError(SealError, RuntimeError):
     """A WAL file is missing, corrupt beyond its torn tail, or
     misaligned with its checkpoint snapshot."""
+
+
+class WALLineageError(WALError):
+    """A reader asked for a generation the log no longer is.
+
+    Raised by :meth:`WALCursor.read_from` when the file's header names a
+    different generation than the caller's lineage marker — the writer
+    checkpointed (and :meth:`WriteAheadLog.reset`) since the caller last
+    read.  Carries enough for the caller to decide whether it can adopt
+    the new generation (it was exactly at the parent checkpoint) or must
+    re-bootstrap from a snapshot.
+    """
+
+    def __init__(self, message: str, *, generation: int, parent: Optional[Dict]) -> None:
+        super().__init__(message)
+        #: The generation the file is at *now*.
+        self.generation = generation
+        #: The ``{"generation", "offset"}`` checkpoint whose reset
+        #: produced the current log (``None`` for a generation-0 log).
+        self.parent = dict(parent) if parent else None
 
 
 @dataclass(frozen=True)
@@ -210,6 +235,277 @@ def read_wal(path: Union[str, Path]) -> WALContents:
         good_end=good_end,
         trailing_bytes=len(data) - good_end,
     )
+
+
+@dataclass(frozen=True)
+class WALShipment:
+    """A contiguous run of intact frames cut from a live log.
+
+    ``data`` is the exact on-disk bytes of the frames spanning
+    ``[start, end)`` — shippable verbatim, so a receiver re-verifies the
+    same length-prefixed CRC framing the writer produced
+    (:func:`decode_frames`) and inherits the writer's byte offsets as
+    its lineage marker.
+    """
+
+    generation: int
+    #: Byte offset of the first shipped frame.
+    start: int
+    #: Byte offset one past the last shipped frame (the new lineage
+    #: offset a receiver advances to after applying).
+    end: int
+    data: bytes
+    records: List[WALRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def decode_frames(data: bytes, *, base_offset: int = 0) -> List[WALRecord]:
+    """Decode a shipped run of frames, verifying every checksum.
+
+    Unlike :func:`read_wal` there is no torn-tail tolerance: a shipment
+    is a claim of exact bytes, so a short frame, a checksum mismatch or
+    an undecodable payload is corruption-in-transit (or a divergent
+    cut) and raises loudly.  Record offsets are absolute
+    (``base_offset`` + position within ``data``), matching the sender's
+    file offsets.
+
+    Raises:
+        WALError: Any byte of ``data`` fails to parse as intact frames.
+    """
+    records: List[WALRecord] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            raise WALError(
+                f"shipped frames end mid-header at byte {base_offset + offset}"
+            )
+        length, crc = _FRAME.unpack_from(data, offset)
+        start, end = offset + _FRAME.size, offset + _FRAME.size + length
+        if end > len(data):
+            raise WALError(
+                f"shipped frame at byte {base_offset + offset} is truncated"
+            )
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            raise WALError(
+                f"shipped frame at byte {base_offset + offset} fails its checksum"
+            )
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WALError(
+                f"shipped frame at byte {base_offset + offset} is checksummed "
+                f"but does not decode ({exc})"
+            ) from exc
+        if not isinstance(decoded, dict) or "op" not in decoded:
+            raise WALError(
+                f"shipped frame at byte {base_offset + offset} is not an "
+                "operation object"
+            )
+        records.append(WALRecord(offset=base_offset + offset, payload=decoded))
+        offset = end
+    return records
+
+
+class WALCursor:
+    """A tailing reader over a (possibly live) WAL file.
+
+    The replication primary holds one per log and answers each fetch by
+    cutting the intact frames past the caller's ``(generation, offset)``
+    lineage marker.  The cursor is stateless between calls — every read
+    re-validates the header — so it tolerates the writer resetting the
+    file underneath it (checkpoint): that surfaces as
+    :class:`WALLineageError` instead of garbage.
+
+    A reader may race the single writer's in-progress append; the
+    buffered frame bytes reach the OS in one ``write`` + ``flush``, but
+    a cursor that still lands mid-frame simply stops the shipment at
+    the last complete frame (an incomplete tail is "nothing new yet",
+    never an error).  A checksum mismatch at a frame boundary, by
+    contrast, means the requested offset is not on this log's frame
+    grid — a divergent reader — and raises.
+    """
+
+    #: Default per-read byte cap: comfortably under the wire protocol's
+    #: 8 MiB frame limit after base64 expansion (×4/3) plus envelope.
+    DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def _header(self, handle) -> int:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise WALError(f"{self.path} is too short to hold a WAL header")
+        magic, fmt, generation = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise WALError(f"{self.path} is not a repro WAL file")
+        if fmt != WAL_FORMAT:
+            raise WALError(
+                f"{self.path} uses WAL format {fmt}, this library reads "
+                f"format {WAL_FORMAT}"
+            )
+        return generation
+
+    def _parent_checkpoint(self, handle) -> Optional[Dict]:
+        """The current log's parent-checkpoint marker (first record)."""
+        handle.seek(_HEADER.size)
+        frame_header = handle.read(_FRAME.size)
+        if len(frame_header) < _FRAME.size:
+            return None
+        length, crc = _FRAME.unpack(frame_header)
+        payload = handle.read(length)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if isinstance(decoded, dict) and decoded.get("op") == "config":
+            parent = decoded.get("checkpoint")
+            return dict(parent) if isinstance(parent, dict) else None
+        return None
+
+    def read_from(
+        self,
+        generation: int,
+        offset: int,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        end: Optional[int] = None,
+    ) -> WALShipment:
+        """Cut the intact frames in ``[offset, offset + max_bytes]``.
+
+        Always ships at least one frame when an intact one exists at
+        ``offset``, even if it alone exceeds ``max_bytes`` — a shipment
+        must make progress or the tail would wedge behind one large
+        record.
+
+        ``end`` caps the cut at an exclusive byte bound (a frame
+        boundary the caller knows to be sealed — e.g. the durable
+        engine's stable watermark, past which a record may still be
+        rolled back).  An ``offset`` at or past ``end`` ships empty.
+
+        Raises:
+            WALLineageError: The file is now at a different generation
+                (the writer checkpointed); carries the new generation
+                and its parent-checkpoint marker.
+            WALError: The file is missing/garbled, ``offset`` is outside
+                the log, or the bytes at ``offset`` are not a frame
+                boundary (a divergent reader).
+        """
+        if offset < _HEADER.size:
+            raise WALError(
+                f"WAL offset {offset} is inside the header "
+                f"(records start at {_HEADER.size})"
+            )
+        try:
+            handle = self.path.open("rb")
+        except OSError as exc:
+            raise WALError(f"cannot read WAL {self.path}: {exc}") from exc
+        with handle:
+            current = self._header(handle)
+            if current != generation:
+                parent = self._parent_checkpoint(handle)
+                raise WALLineageError(
+                    f"{self.path} is at generation {current}, reader asked for "
+                    f"{generation} (the writer checkpointed since)",
+                    generation=current,
+                    parent=parent,
+                )
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if offset > size:
+                raise WALError(
+                    f"WAL offset {offset} is past the end of {self.path} "
+                    f"({size} bytes) — divergent reader"
+                )
+            limit = size if end is None else min(size, end)
+            if offset >= limit:
+                return WALShipment(
+                    generation=generation, start=offset, end=offset,
+                    data=b"", records=[],
+                )
+            handle.seek(offset)
+            # Over-read by one frame header so the cut never ends on a
+            # frame we cannot even measure (but never past ``limit``,
+            # whose bound is a frame boundary by contract).
+            data = handle.read(min(max_bytes + _FRAME.size, limit - offset))
+            if limit - offset < _FRAME.size:
+                if end is not None:
+                    # ``end`` is a sealed frame boundary by contract, yet
+                    # fewer bytes than a frame header sit before it: the
+                    # offset cannot be on the grid.
+                    raise WALError(
+                        f"{self.path}: offset {offset} leaves no room for a "
+                        f"frame before the sealed bound {limit} — not on "
+                        "this log's frame grid"
+                    )
+            else:
+                first_length = _FRAME.unpack_from(data, 0)[0]
+                first_end = _FRAME.size + first_length
+                if first_end > len(data):
+                    if offset + first_end <= limit:
+                        # One frame may alone exceed the cap: widen the
+                        # read to cover it whole, or a large record would
+                        # wedge every shipment at this offset forever.
+                        handle.seek(offset)
+                        data = handle.read(first_end)
+                    elif end is not None:
+                        # The claimed frame overruns the sealed bound: a
+                        # misaligned offset read garbage as a length.
+                        raise WALError(
+                            f"{self.path}: the frame at offset {offset} "
+                            f"claims {first_length} payload bytes, past the "
+                            f"sealed bound {limit} — not on this log's "
+                            "frame grid"
+                        )
+        cut = 0
+        records: List[WALRecord] = []
+        position = 0
+        while position < len(data):
+            if position + _FRAME.size > len(data):
+                break  # incomplete frame header: nothing more yet
+            length, crc = _FRAME.unpack_from(data, position)
+            start, end = position + _FRAME.size, position + _FRAME.size + length
+            if end > len(data):
+                break  # incomplete payload: writer mid-append (or capped)
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                # First frame failing means the offset is not a frame
+                # boundary (divergent reader); a mid-run mismatch after
+                # good frames is on-disk corruption.  Both are loud —
+                # the reader must re-bootstrap, not skip bytes.
+                raise WALError(
+                    f"{self.path}: bytes at offset {offset + position} fail "
+                    "their frame checksum — not on this log's frame grid"
+                )
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WALError(
+                    f"{self.path}: record at offset {offset + position} is "
+                    f"checksummed but does not decode ({exc})"
+                ) from exc
+            if not isinstance(decoded, dict) or "op" not in decoded:
+                raise WALError(
+                    f"{self.path}: record at offset {offset + position} is not "
+                    "an operation object"
+                )
+            records.append(WALRecord(offset=offset + position, payload=decoded))
+            position = end
+            cut = end
+            if cut >= max_bytes:
+                break
+        return WALShipment(
+            generation=generation,
+            start=offset,
+            end=offset + cut,
+            data=bytes(data[:cut]),
+            records=records,
+        )
 
 
 class WriteAheadLog:

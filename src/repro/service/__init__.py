@@ -27,9 +27,21 @@ answers.
 * :mod:`repro.service.workers` — :class:`ProcessSupervisor`: the
   pre-fork worker pool serving one mmap-shared snapshot generation per
   epoch, recycled on publish (the cross-process epoch bump).
+* :mod:`repro.service.replication` — WAL-shipping replication:
+  :class:`ReplicationPrimary` publishes a durable primary's sealed WAL
+  frames over the wire protocol; :class:`ReplicaApplier` bootstraps
+  from a shipped checkpoint and replays the stream into its own
+  engine for read scale-out.
 """
 
-from repro.core.errors import AdmissionRejected, DeadlineExceeded, ProtocolError, ServiceError
+from repro.core.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ProtocolError,
+    ReplicationError,
+    ServiceError,
+)
+from repro.service.replication import ReplicaApplier, ReplicationPrimary
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache, canonical_key
 from repro.service.manager import EngineManager
@@ -49,6 +61,9 @@ __all__ = [
     "ProcessSupervisor",
     "ProtocolError",
     "QueryService",
+    "ReplicaApplier",
+    "ReplicationError",
+    "ReplicationPrimary",
     "RequestCounters",
     "ResultCache",
     "ServiceError",

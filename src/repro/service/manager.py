@@ -227,6 +227,26 @@ class EngineManager:
             self._updatable("compact")()
             self._bump(self._current[0])
 
+    def apply(self, mutator: Callable[[Any], Any]) -> Any:
+        """Run an arbitrary engine mutation under the exclusive lock.
+
+        The generic mutation primitive the typed methods above are
+        special cases of: ``mutator(engine)`` runs with every reader
+        excluded, and the epoch bumps afterwards — even when the mutator
+        raises partway, for the same reason :meth:`insert_many` bumps on
+        a partial batch (the engine may have visibly changed).  The
+        replication applier replays whole shipped WAL batches through
+        one ``apply`` call, so replicas pay one epoch bump (one cache
+        purge) per shipment rather than per record.
+
+        Returns whatever ``mutator`` returns.
+        """
+        with self._lock.writing():
+            try:
+                return mutator(self._current[0])
+            finally:
+                self._bump(self._current[0])
+
     def flush(self) -> None:
         """Seal the engine's write buffer; bumps only if answers may move.
 

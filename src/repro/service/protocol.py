@@ -6,15 +6,27 @@ responses alternate in lockstep on a connection (no pipelining) —
 deliberately the simplest protocol that a shell script, another
 language, or a packet capture can speak and read:
 
-===========  ==========================================================
-request      shape
-===========  ==========================================================
-``query``    ``{"op": "query", "region": [x1, y1, x2, y2],
-             "tokens": [...], "tau_r": 0.4, "tau_t": 0.4}``
-``batch``    ``{"op": "batch", "queries": [<query fields>, ...]}``
-``ping``     ``{"op": "ping"}``
-``metrics``  ``{"op": "metrics"}``
-===========  ==========================================================
+==================  ===================================================
+request             shape
+==================  ===================================================
+``query``           ``{"op": "query", "region": [x1, y1, x2, y2],
+                    "tokens": [...], "tau_r": 0.4, "tau_t": 0.4}``
+``batch``           ``{"op": "batch", "queries": [<query fields>, ...]}``
+``ping``            ``{"op": "ping"}``
+``metrics``         ``{"op": "metrics"}``
+``repl-subscribe``  ``{"op": "repl-subscribe", "replica": "<id>"}``
+``repl-fetch``      ``{"op": "repl-fetch", "replica": "<id>",
+                    "generation": G, "offset": O,
+                    "applied": [G, O]}``
+``repl-snapshot``   ``{"op": "repl-snapshot", "file":
+                    "snapshot"|"sidecar", "offset": O}``
+==================  ===================================================
+
+The ``repl-*`` ops are the WAL-shipping replication plane (see
+:mod:`repro.service.replication`); a server without a replication
+source attached answers them with a loud error frame.  Raw bytes (WAL
+frames, snapshot chunks) cross inside the JSON envelope as base64 text
+via :func:`bytes_to_wire` / :func:`bytes_from_wire`.
 
 Every response carries ``ok`` plus the serving identity — ``epoch``
 (the in-process engine version), ``generation`` (the cross-process
@@ -35,6 +47,8 @@ accept/drain, client blocking reads) live in
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 from typing import Any, Dict, List, Mapping, Sequence
 
@@ -43,6 +57,7 @@ from repro.core.errors import (
     DeadlineExceeded,
     InvalidQueryError,
     ProtocolError,
+    ReplicationError,
     SealError,
     ServiceError,
 )
@@ -59,6 +74,16 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Length-prefix width in bytes.
 HEADER_BYTES = 4
 
+#: The replication-plane op names (prefix-routed by the server: every
+#: ``repl-*`` op goes to the service's attached replication source).
+REPL_SUBSCRIBE = "repl-subscribe"
+REPL_FETCH = "repl-fetch"
+REPL_SNAPSHOT = "repl-snapshot"
+REPL_OPS = (REPL_SUBSCRIBE, REPL_FETCH, REPL_SNAPSHOT)
+
+#: Prefix that routes an op to the replication handler.
+REPL_PREFIX = "repl-"
+
 #: The ``kind`` values an error response may carry, mapped back onto the
 #: exception the client raises.  Unknown kinds degrade to ServiceError.
 ERROR_KINDS: Dict[str, type] = {
@@ -66,6 +91,7 @@ ERROR_KINDS: Dict[str, type] = {
     "DeadlineExceeded": DeadlineExceeded,
     "InvalidQueryError": InvalidQueryError,
     "ProtocolError": ProtocolError,
+    "ReplicationError": ReplicationError,
     "ServiceError": ServiceError,
     "SealError": SealError,
 }
@@ -113,6 +139,34 @@ def check_frame_length(length: int, *, max_frame: int = MAX_FRAME_BYTES) -> int:
             f"frame of {length} bytes exceeds the {max_frame}-byte limit"
         )
     return length
+
+
+# ----------------------------------------------------------------------
+# Binary payloads (WAL frames, snapshot chunks) inside JSON frames
+# ----------------------------------------------------------------------
+
+
+def bytes_to_wire(data: bytes) -> str:
+    """Raw bytes as base64 ASCII text, safe inside a JSON frame."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def bytes_from_wire(text: Any) -> bytes:
+    """Decode a base64 wire field back to bytes.
+
+    Raises:
+        ProtocolError: The field is not a string or not valid base64 —
+            a peer shipping half-encoded bytes is a protocol violation,
+            never silently-empty data.
+    """
+    if not isinstance(text, str):
+        raise ProtocolError(
+            f"binary field must be a base64 string, got {type(text).__name__}"
+        )
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable base64 field: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

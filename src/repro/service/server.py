@@ -41,6 +41,7 @@ from repro.core.stats import SearchResult
 from repro.service.protocol import (
     HEADER_BYTES,
     MAX_FRAME_BYTES,
+    REPL_PREFIX,
     check_frame_length,
     decode_payload,
     encode_frame,
@@ -159,7 +160,21 @@ def _dispatch(service: Any, request: Dict[str, Any]) -> Dict[str, Any]:
     if op == "ping":
         return {}
     if op == "metrics":
-        return {"metrics": service.metrics()}
+        metrics = service.metrics()
+        replication = getattr(service, "replication", None)
+        if replication is not None:
+            metrics = dict(metrics, replication=replication.status())
+        return {"metrics": metrics}
+    if isinstance(op, str) and op.startswith(REPL_PREFIX):
+        # The replication plane: a primary attaches its publisher to the
+        # service (service.replication) and every repl-* op routes there.
+        replication = getattr(service, "replication", None)
+        if replication is None:
+            raise ProtocolError(
+                f"this server has no replication source attached "
+                f"(op {op!r}); point the replica at the primary"
+            )
+        return replication.handle(request)
     raise ProtocolError(f"unknown op {op!r}")
 
 
@@ -249,6 +264,11 @@ class NetworkServer:
         port: TCP port (0 picks a free one; see :attr:`address`).
         max_frame: Per-frame byte cap, both directions.
         backlog: Listen backlog.
+        generation: Optional zero-arg callable supplying the
+            ``generation`` field of every response's serving identity —
+            ``None`` for single-process servers, a replica passes its
+            upstream lineage generation so clients can attribute every
+            answer to the primary state it reflects.
     """
 
     def __init__(
@@ -259,8 +279,10 @@ class NetworkServer:
         port: int = 0,
         max_frame: int = MAX_FRAME_BYTES,
         backlog: int = 128,
+        generation: Optional[Callable[[], Any]] = None,
     ) -> None:
         self._service = service
+        self._generation = generation
         self._max_frame = max_frame
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -279,7 +301,7 @@ class NetworkServer:
     def _meta(self) -> Dict[str, Any]:
         return {
             "epoch": self._service.epoch,
-            "generation": None,
+            "generation": self._generation() if self._generation is not None else None,
             "pid": os.getpid(),
         }
 
@@ -425,6 +447,16 @@ class NetworkClient:
                 f"results for {len(queries)} queries"
             )
         return results_from_wire(items)
+
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw request → its ok-response payload (meta included).
+
+        The extension point for ops beyond the query plane — the
+        replication applier drives its subscribe/fetch/snapshot
+        conversation through this.  Server errors re-raise exactly like
+        the typed methods.
+        """
+        return dict(self._rpc(request))
 
     def ping(self) -> Dict[str, Any]:
         """Round-trip returning the serving identity (epoch/generation/pid)."""

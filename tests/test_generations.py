@@ -71,6 +71,43 @@ class TestPublish:
                 tmp_path / "serving", engine=engine, source_path=tmp_path / "x.pkl"
             )
 
+    def test_lost_pointer_does_not_restart_the_counter(self, engine, tmp_path):
+        """Regression: a lost CURRENT must not make the next publish
+        overwrite gen-000001.pkl (workers may still be mmapping it) or
+        regress the monotonic cross-process epoch."""
+        serving = tmp_path / "serving"
+        for _ in range(3):
+            publish_snapshot(serving, engine=engine)
+        first_bytes = (serving / "gen-000001.pkl").read_bytes()
+        (serving / "CURRENT").unlink()
+        generation, snapshot = publish_snapshot(serving, engine=engine)
+        assert generation == 4
+        assert snapshot == serving / "gen-000004.pkl"
+        assert (serving / "gen-000001.pkl").read_bytes() == first_bytes
+
+    def test_corrupt_pointer_does_not_restart_the_counter(self, engine, tmp_path):
+        serving = tmp_path / "serving"
+        publish_snapshot(serving, engine=engine)
+        publish_snapshot(serving, engine=engine)
+        (serving / "CURRENT").write_text("{torn", encoding="utf-8")
+        generation, _ = publish_snapshot(serving, engine=engine)
+        assert generation == 3
+        assert read_current(serving)["generation"] == 3
+
+    def test_stale_pointer_behind_files_still_advances(self, engine, tmp_path):
+        """A pointer regressed behind the on-disk files (e.g. restored
+        from backup) must not cause an overwrite either."""
+        serving = tmp_path / "serving"
+        for _ in range(3):
+            publish_snapshot(serving, engine=engine)
+        (serving / "CURRENT").write_text(
+            json.dumps({"generation": 1, "snapshot": "gen-000001.pkl"}),
+            encoding="utf-8",
+        )
+        generation, snapshot = publish_snapshot(serving, engine=engine)
+        assert generation == 4
+        assert snapshot == serving / "gen-000004.pkl"
+
     def test_roundtrip_through_loader(self, engine, figure1_query, tmp_path):
         from repro.io import load_engine
 
@@ -151,3 +188,24 @@ class TestPrune:
     def test_prune_validates_keep(self, tmp_path):
         with pytest.raises(ValueError):
             prune_generations(tmp_path, keep=0)
+
+    def test_prune_spares_active_under_symlinked_directory(self, engine, tmp_path):
+        """Regression: the active snapshot published by resolved
+        source_path must survive pruning when the serving directory is
+        reached through a symlink (resolved-vs-relative path mismatch)."""
+        real = tmp_path / "real"
+        real.mkdir()
+        serving = tmp_path / "serving"
+        serving.symlink_to(real, target_is_directory=True)
+        for _ in range(3):
+            publish_snapshot(serving, engine=engine)
+        # Re-point CURRENT at the oldest generation via source_path: the
+        # pointer now stores the resolve()d absolute spelling while
+        # list_generations yields symlinked-directory entries.
+        publish_snapshot(serving, source_path=serving / "gen-000001.pkl")
+        removed = prune_generations(serving, keep=1)
+        assert (serving / "gen-000001.pkl").exists()
+        assert all(p.name != "gen-000001.pkl" for p in removed)
+        # The active generation still resolves and loads.
+        _, active = current_snapshot(serving)
+        assert active.exists()

@@ -1,0 +1,36 @@
+"""``repro.analysis.lint`` — AST invariant checkers for the repo's own source.
+
+Public surface: :class:`LintDriver` (run the suite), :data:`REGISTRY`
+(rule name → checker class), :func:`register` (add a checker), and the
+reporters.  See ``framework.py`` for the suppression syntax and the
+README "Static analysis" section for the rule table.
+"""
+
+from repro.analysis.lint import checkers as _builtin_checkers  # noqa: F401 - populates REGISTRY
+from repro.analysis.lint.framework import (
+    BARE_SUPPRESSION,
+    Checker,
+    Finding,
+    LintDriver,
+    REGISTRY,
+    SYNTAX_ERROR,
+    Suppression,
+    parse_suppressions,
+    register,
+)
+from repro.analysis.lint.reporters import describe_rules, render_json, render_text
+
+__all__ = [
+    "BARE_SUPPRESSION",
+    "Checker",
+    "Finding",
+    "LintDriver",
+    "REGISTRY",
+    "SYNTAX_ERROR",
+    "Suppression",
+    "describe_rules",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+]

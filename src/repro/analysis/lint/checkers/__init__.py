@@ -1,0 +1,18 @@
+"""The built-in checker suite — importing this module populates the registry."""
+
+from repro.analysis.lint.checkers.determinism import ReplayDeterminismChecker
+from repro.analysis.lint.checkers.errors import ErrorTransportChecker
+from repro.analysis.lint.checkers.forksafety import ForkSafetyChecker
+from repro.analysis.lint.checkers.locks import LockOrderChecker
+from repro.analysis.lint.checkers.pickles import NoPickleChecker
+from repro.analysis.lint.checkers.writes import AtomicWriteChecker, FsyncOrderingChecker
+
+__all__ = [
+    "AtomicWriteChecker",
+    "ErrorTransportChecker",
+    "ForkSafetyChecker",
+    "FsyncOrderingChecker",
+    "LockOrderChecker",
+    "NoPickleChecker",
+    "ReplayDeterminismChecker",
+]

@@ -1,0 +1,113 @@
+"""``replay-determinism``: WAL replay and replication apply must be pure.
+
+Recovery replays the log from scratch; a replica replays the *shipped*
+log.  Both must land bit-identical engines, so the replay paths in
+``exec/durable.py`` and ``service/replication.py`` may not consult wall
+clocks, entropy sources, or iterate sets in hash order (set iteration
+order varies across processes with ``PYTHONHASHSEED``) — the primary and
+a replica would silently diverge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.lint.framework import Checker, Finding, register
+
+__all__ = ["ReplayDeterminismChecker"]
+
+#: ``module.attr`` calls that read clocks or entropy.
+_NONDETERMINISTIC_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: Any attribute on these modules is an entropy source.
+_NONDETERMINISTIC_MODULES = ("random", "secrets")
+
+
+def _dotted(func: ast.expr) -> Optional[Tuple[str, str]]:
+    """``(root, attr)`` for a ``root.attr`` or ``pkg.root.attr`` call."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Attribute):  # datetime.datetime.now
+        value = value.value if isinstance(value.value, ast.Name) else value
+        root = value.id if isinstance(value, ast.Name) else None
+        if root is None:
+            return None
+        return (root, func.attr)
+    if isinstance(value, ast.Name):
+        return (value.id, func.attr)
+    return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class ReplayDeterminismChecker(Checker):
+    """Clocks, entropy, and hash-ordered iteration in replay paths."""
+
+    name = "replay-determinism"
+    description = (
+        "no time.time/random/os.urandom and no hash-ordered set iteration in "
+        "the WAL-replay (exec/durable.py) and replication-apply "
+        "(service/replication.py) paths — primary and replica would diverge"
+    )
+    scope = ("exec/durable.py", "service/replication.py")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                root, attr = dotted
+                if dotted in _NONDETERMINISTIC_CALLS:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{root}.{attr}() in a replay/apply module: replayed "
+                            "state must not depend on the wall clock",
+                        )
+                    )
+                elif root in _NONDETERMINISTIC_MODULES:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{root}.{attr}() is an entropy source; replay must "
+                            "be deterministic",
+                        )
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        "iterating a set directly is hash-ordered (varies with "
+                        "PYTHONHASHSEED); iterate sorted(...) so replay order "
+                        "is deterministic",
+                    )
+                )
+        return findings

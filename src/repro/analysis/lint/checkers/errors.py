@@ -1,0 +1,133 @@
+"""``error-transport``: the service layer only raises wire-registered errors.
+
+The network server maps an exception to a wire frame by its type name
+through ``protocol.ERROR_KINDS``; anything unregistered is masked as a
+generic ``ServiceError`` on the client — raising one is a silent
+behavior change.  So code under ``service/`` may only raise ``SealError``
+subclasses that are registered for transport.
+
+The same rule also polices the other half of the transport contract:
+a broad ``except Exception:`` that neither re-raises nor is explicitly
+suppressed tends to *swallow* the errors the wire is supposed to carry
+(the PR 6 ``serve_connection`` bug family).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional
+
+from repro.analysis.lint.framework import Checker, Finding, register
+
+__all__ = ["ErrorTransportChecker"]
+
+#: Fallback when ``repro.service.protocol`` is not importable (e.g. the
+#: linter running from a checkout without ``src`` on the path).
+_STATIC_ERROR_KINDS = (
+    "AdmissionRejected",
+    "ConfigurationError",
+    "DeadlineExceeded",
+    "InvalidQueryError",
+    "ProtocolError",
+    "ReplicationError",
+    "SealError",
+    "ServiceError",
+)
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _transportable_names() -> FrozenSet[str]:
+    """Names registered in ``protocol.ERROR_KINDS`` — imported live so the
+    checker can never drift from the wire registry."""
+    try:
+        from repro.service.protocol import ERROR_KINDS
+    except Exception:  # pragma: no cover - exercised only off-path
+        return frozenset(_STATIC_ERROR_KINDS)
+    return frozenset(ERROR_KINDS)
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The class name of ``raise Name(...)`` / ``raise mod.Name(...)``.
+
+    ``raise`` (bare re-raise) and ``raise variable`` resolve to ``None``
+    — those forward an exception the rule already vetted at its source.
+    """
+    target = node.exc
+    if target is None:
+        return None
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Attribute):
+        name = target.attr
+    elif isinstance(target, ast.Name):
+        name = target.id
+    else:
+        return None
+    # Heuristic: class names are CamelCase; `raise exc` re-raises a local.
+    return name if name[:1].isupper() else None
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True  # bare except:
+    names = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+    for name in names:
+        if isinstance(name, ast.Attribute) and name.attr in _BROAD:
+            return True
+        if isinstance(name, ast.Name) and name.id in _BROAD:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@register
+class ErrorTransportChecker(Checker):
+    """Unregistered raises and broad swallows under ``service/``."""
+
+    name = "error-transport"
+    description = (
+        "service/ may only raise SealError subclasses registered in "
+        "protocol.ERROR_KINDS (unregistered types are masked on the wire); "
+        "broad `except Exception` handlers must re-raise or be suppressed "
+        "with a rationale"
+    )
+    scope = ("src/repro/service/",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+        allowed = _transportable_names()
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name is not None and name not in allowed:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"raise {name}: not registered in protocol."
+                            "ERROR_KINDS — the wire masks it as a generic "
+                            "ServiceError; raise a registered SealError "
+                            "subclass (or register the type)",
+                        )
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                if _is_broad_handler(node) and not _reraises(node):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            "broad except swallows errors the wire should "
+                            "carry; narrow to the SealError hierarchy, or "
+                            "log-and-re-raise (suppress with a rationale at a "
+                            "deliberate outermost boundary)",
+                        )
+                    )
+        return findings

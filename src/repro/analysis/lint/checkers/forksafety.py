@@ -1,0 +1,126 @@
+"""``fork-safety``: no shared mutable state born at import time.
+
+``workers.py`` forks its worker pool after importing the service stack.
+Anything mutable created at module import — an accumulator list, a
+module-level cache dict, and especially a ``threading.Lock`` or a
+started ``Thread`` — is silently duplicated into every child: locks can
+be inherited *held*, threads simply vanish (fork only clones the calling
+thread), and "shared" state quietly stops being shared.  State belongs
+on instances, constructed after the fork.
+
+Populated literal dicts/tuples used as constant registries (e.g.
+``ERROR_KINDS``) are deliberately not flagged — the rule targets *empty*
+containers (born to be mutated) and threading primitives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.lint.framework import Checker, Finding, register
+
+__all__ = ["ForkSafetyChecker"]
+
+_THREADING_FACTORIES = (
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "Thread",
+    "Timer",
+)
+
+_MUTABLE_FACTORIES = ("list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter")
+
+
+def _import_time_hazard(value: ast.expr) -> Optional[str]:
+    """Why ``value``, assigned at module level, is fork-hostile (or None)."""
+    if isinstance(value, (ast.List, ast.Set)) and not value.elts:
+        return "an empty mutable container"
+    if isinstance(value, ast.Dict) and not value.keys:
+        return "an empty mutable container"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        root = ""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            root = func.value.id
+        if name in _THREADING_FACTORIES and root in ("threading", "multiprocessing", ""):
+            # Bare Thread()/Lock() only counts when clearly the threading
+            # kind; `Lock()` imported from threading is the common spelling.
+            if root or name in ("Lock", "RLock", "Thread"):
+                return f"a threading primitive ({root + '.' if root else ''}{name})"
+        if name in ("list", "dict", "set"):
+            if not value.args and not value.keywords:
+                return "an empty mutable container"
+        elif name in _MUTABLE_FACTORIES:
+            # deque/defaultdict/OrderedDict/Counter are mutable however
+            # they are seeded.
+            return "a mutable container"
+    return None
+
+
+def _module_level_statements(tree: ast.Module) -> Iterable[ast.stmt]:
+    """Top-level statements, descending into top-level ``if``/``try`` arms
+    (version guards) but not into functions or classes."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            continue
+        if isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            continue
+        yield stmt
+
+
+@register
+class ForkSafetyChecker(Checker):
+    """Module-level mutable state / threading primitives in pre-fork modules."""
+
+    name = "fork-safety"
+    description = (
+        "modules imported pre-fork by workers.py may not create mutable "
+        "module-level state or threading primitives at import time — fork "
+        "duplicates them into every worker (locks can arrive held)"
+    )
+    scope = ("src/repro/service/",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for stmt in _module_level_statements(tree):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.Expr):
+                value = stmt.value
+            if value is None:
+                continue
+            hazard = _import_time_hazard(value)
+            if hazard is None:
+                continue
+            names = ", ".join(
+                t.id for t in targets if isinstance(t, ast.Name)
+            ) or "<expression>"
+            findings.append(
+                self.finding(
+                    path,
+                    stmt,
+                    f"{names} creates {hazard} at import time in a pre-fork "
+                    "module; move it onto an instance built after the fork",
+                )
+            )
+        return findings

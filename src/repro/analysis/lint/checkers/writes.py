@@ -1,0 +1,157 @@
+"""File-write discipline: ``atomic-write`` and ``fsync-ordering``.
+
+PR 5's bug family: a plain ``open(path, "w")`` (or a ``json.dump``
+straight into a handle) leaves a torn file behind on crash, and a bare
+``os.replace`` without fsyncing the temp file first can publish an
+*empty* file after power loss.  Everything durable in ``src/`` must go
+through ``repro.io.atomic`` — which is itself the one exempt module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.lint.framework import Checker, Finding, register
+
+__all__ = ["AtomicWriteChecker", "FsyncOrderingChecker"]
+
+#: Mode characters that make an ``open()`` a write (create/truncate/append).
+_WRITE_MODE_CHARS = frozenset("wax")
+
+
+def _parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _open_write_mode(call: ast.Call) -> Optional[str]:
+    """The mode string when ``call`` is an ``open``/``.open`` that writes."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode_index = 1  # open(path, mode)
+    elif isinstance(func, ast.Attribute) and func.attr == "open":
+        mode_index = 0  # Path.open(mode)
+    else:
+        return None
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) > mode_index:
+        mode_node = call.args[mode_index]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not isinstance(mode_node, ast.Constant) or not isinstance(mode_node.value, str):
+        return None
+    mode = mode_node.value
+    if _WRITE_MODE_CHARS & set(mode):
+        return mode
+    return None
+
+
+def _is_dump_to_handle(call: ast.Call) -> bool:
+    """``json.dump(...)`` / ``pickle.dump(...)`` — serialization straight
+    into a file handle."""
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "dump"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("json", "pickle", "marshal")
+    )
+
+
+def _inside_atomic_writer(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` sits lexically inside an argument of a call to
+    one of the ``repro.io.atomic`` helpers (e.g. the writer lambda of
+    ``atomic_write(path, lambda handle: ...)``)."""
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if isinstance(current, ast.Call):
+            func = current.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+            if name.startswith("atomic_write") or name == "replace_durably":
+                return True
+        current = parents.get(current)
+    return False
+
+
+@register
+class AtomicWriteChecker(Checker):
+    """In-place file writes outside ``repro.io.atomic``."""
+
+    name = "atomic-write"
+    description = (
+        "open(path, 'w'/'wb'/'a') writes and json.dump-to-handle in src/ must "
+        "route through repro.io.atomic (fsync temp + os.replace + dir fsync)"
+    )
+    scope = ("src/repro/",)
+    exclude = ("io/atomic.py",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        parents = _parent_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _open_write_mode(node)
+            if mode is not None and not _inside_atomic_writer(node, parents):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"open(..., {mode!r}) writes in place — a crash leaves a "
+                        "torn file; use repro.io.atomic (atomic_write / "
+                        "atomic_write_text / atomic_write_bytes)",
+                    )
+                )
+            elif _is_dump_to_handle(node) and not _inside_atomic_writer(node, parents):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        "dump straight into a file handle bypasses the atomic-write "
+                        "discipline; serialize to a string/bytes and write via "
+                        "repro.io.atomic, or dump inside an atomic_write writer",
+                    )
+                )
+        return findings
+
+
+@register
+class FsyncOrderingChecker(Checker):
+    """``os.replace``/``os.rename`` outside the durable-rename helper."""
+
+    name = "fsync-ordering"
+    description = (
+        "os.replace/os.rename without the preceding temp-file fsync and "
+        "following directory fsync is not crash-safe; use "
+        "repro.io.atomic.replace_durably"
+    )
+    scope = ("src/repro/",)
+    exclude = ("io/atomic.py",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("replace", "rename")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"os.{func.attr} publishes a file without the fsync "
+                        "ordering that survives power loss; use "
+                        "repro.io.atomic.replace_durably",
+                    )
+                )
+        return findings

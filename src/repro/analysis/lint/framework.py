@@ -1,0 +1,281 @@
+"""The ``repro lint`` framework: findings, checkers, suppressions, driver.
+
+Nine PRs of concurrency/durability work accumulated invariants that
+nothing but reviewer memory enforced — fsync-then-``os.replace`` atomic
+writes, the checkpoint-mutex-before-RW-lock discipline, deterministic
+WAL replay, ``SealError``-only error transport.  This package encodes
+them as small stdlib-``ast`` checkers so CI fails on the exact mistake
+classes the repo has already paid for once.
+
+Structure:
+
+* :class:`Finding` — one violation: ``path:line: [rule] message``.
+* :class:`Checker` — base class; subclasses declare a ``name``, a path
+  ``scope``/``exclude`` (substring match on posix-normalised paths) and
+  implement :meth:`Checker.check` over a parsed module.
+* :func:`register` — decorator adding a checker class to ``REGISTRY``.
+* :class:`LintDriver` — walks paths, parses each file once, dispatches
+  to every in-scope checker, then applies suppression comments.
+
+Suppressions are pylint-style line comments::
+
+    risky_call()  # repro-lint: disable=atomic-write -- status file, torn read tolerated
+
+The ``-- rationale`` tail is mandatory: a suppression without one is
+itself reported (rule ``bare-suppression``), which machine-enforces the
+"every committed suppression carries a rationale" rule.  A suppression
+on a comment-only line covers the next line, so long statements can
+carry their rationale above them.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+__all__ = [
+    "BARE_SUPPRESSION",
+    "Checker",
+    "Finding",
+    "LintDriver",
+    "REGISTRY",
+    "SYNTAX_ERROR",
+    "Suppression",
+    "parse_suppressions",
+    "register",
+]
+
+#: Meta-rule: a ``disable=`` comment with no ``-- rationale`` tail (or
+#: naming a rule that does not exist).  Always active.
+BARE_SUPPRESSION = "bare-suppression"
+
+#: Pseudo-rule reported when a file does not parse at all.
+SYNTAX_ERROR = "syntax-error"
+
+#: Path fragments the driver never descends into: lint-test fixture
+#: files contain *seeded* violations and would otherwise fail the tree.
+FIXTURE_MARKERS = ("fixtures/lint", "__pycache__")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s+--\s*(\S.*?))?\s*$"
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    rationale: str
+    covers: Tuple[int, ...]
+
+    def silences(self, finding: Finding) -> bool:
+        return finding.line in self.covers and finding.rule in self.rules
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """All suppression comments in ``source``.
+
+    A suppression covers its own line; when the comment stands alone on
+    the line it also covers the next one (so a rationale can sit above
+    a long statement).
+    """
+    suppressions: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(",") if part.strip())
+        rationale = (match.group(2) or "").strip()
+        standalone = text.strip().startswith("#")
+        covers = (lineno, lineno + 1) if standalone else (lineno,)
+        suppressions.append(
+            Suppression(line=lineno, rules=rules, rationale=rationale, covers=covers)
+        )
+    return suppressions
+
+
+class Checker:
+    """Base class for one invariant checker.
+
+    Subclasses set :attr:`name` (the rule id used in reports and
+    suppressions), :attr:`description`, optionally :attr:`scope` /
+    :attr:`exclude` (path substrings), and implement :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Posix-path substrings the rule applies to; empty means every file.
+    scope: Tuple[str, ...] = ()
+    #: Posix-path substrings exempt from the rule (wins over ``scope``).
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if any(fragment in posix for fragment in self.exclude):
+            return False
+        return not self.scope or any(fragment in posix for fragment in self.scope)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, where: Union[int, ast.AST], message: str) -> Finding:
+        line = where if isinstance(where, int) else getattr(where, "lineno", 0)
+        return Finding(path=path, line=int(line), rule=self.name, message=message)
+
+
+#: rule name → checker class, in registration order.
+REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: add ``cls`` to :data:`REGISTRY` by rule name."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a rule name")
+    if cls.name in REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    REGISTRY[cls.name] = cls
+    return cls
+
+
+class LintDriver:
+    """Parse files once and run every (selected) checker over each.
+
+    Args:
+        rules: Subset of rule names to run; ``None`` runs all registered
+            checkers.  Unknown names raise ``ValueError``.
+        respect_scopes: When ``False``, every checker runs on every file
+            regardless of its declared ``scope``/``exclude`` — used by
+            the fixture tests, which live outside the real tree.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[str]] = None,
+        *,
+        respect_scopes: bool = True,
+    ) -> None:
+        from repro.analysis.lint import checkers as _checkers  # noqa: F401 - populates REGISTRY
+
+        if rules is None:
+            selected = list(REGISTRY)
+        else:
+            selected = list(rules)
+            unknown = sorted(set(selected) - set(REGISTRY))
+            if unknown:
+                valid = ", ".join(sorted(REGISTRY))
+                raise ValueError(f"unknown lint rules {unknown}; valid rules: {valid}")
+        self.checkers: List[Checker] = [REGISTRY[name]() for name in selected]
+        self.respect_scopes = respect_scopes
+
+    # ------------------------------------------------------------------
+
+    def lint_source(self, source: str, path: str) -> List[Finding]:
+        """All unsuppressed findings for one module's source text."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=int(exc.lineno or 0),
+                    rule=SYNTAX_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        findings: List[Finding] = []
+        for checker in self.checkers:
+            if self.respect_scopes and not checker.applies_to(path):
+                continue
+            findings.extend(checker.check(tree, source, path))
+        suppressions = parse_suppressions(source)
+        kept = [
+            finding
+            for finding in findings
+            if not any(s.silences(finding) for s in suppressions)
+        ]
+        known = set(REGISTRY) | {BARE_SUPPRESSION, SYNTAX_ERROR}
+        for suppression in suppressions:
+            if not suppression.rationale:
+                kept.append(
+                    Finding(
+                        path=path,
+                        line=suppression.line,
+                        rule=BARE_SUPPRESSION,
+                        message=(
+                            "suppression without a rationale; write "
+                            "`# repro-lint: disable=<rule> -- <why this is safe>`"
+                        ),
+                    )
+                )
+            for rule in suppression.rules:
+                if rule not in known:
+                    kept.append(
+                        Finding(
+                            path=path,
+                            line=suppression.line,
+                            rule=BARE_SUPPRESSION,
+                            message=f"suppression names unknown rule {rule!r}",
+                        )
+                    )
+        return sorted(kept)
+
+    def lint_file(self, path: Union[str, Path]) -> List[Finding]:
+        text = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(text, str(path))
+
+    def lint_paths(
+        self, paths: Sequence[Union[str, Path]]
+    ) -> Tuple[List[Finding], int]:
+        """Lint files and directories; returns ``(findings, files_checked)``.
+
+        Directories are walked recursively for ``*.py``; fixture trees
+        (seeded violations) and ``__pycache__`` are skipped.
+
+        Raises:
+            FileNotFoundError: A named path does not exist.
+        """
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+        findings: List[Finding] = []
+        checked = 0
+        for file in files:
+            posix = file.as_posix()
+            if any(marker in posix for marker in FIXTURE_MARKERS):
+                continue
+            checked += 1
+            findings.extend(self.lint_file(file))
+        return sorted(findings), checked

@@ -1,0 +1,57 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.lint.framework import (
+    BARE_SUPPRESSION,
+    Finding,
+    REGISTRY,
+    SYNTAX_ERROR,
+)
+
+__all__ = ["describe_rules", "render_json", "render_text"]
+
+#: Driver-level rules that exist without a registered checker class.
+_META_RULES: Dict[str, str] = {
+    BARE_SUPPRESSION: "a `# repro-lint: disable=` comment lacks a `-- rationale` tail "
+    "or names an unknown rule",
+    SYNTAX_ERROR: "the file does not parse",
+}
+
+
+def describe_rules() -> List[Dict[str, str]]:
+    """Every rule (registered checkers plus meta rules) with its description."""
+    rows = [
+        {"rule": name, "description": cls.description}
+        for name, cls in sorted(REGISTRY.items())
+    ]
+    rows.extend(
+        {"rule": name, "description": text} for name, text in sorted(_META_RULES.items())
+    )
+    return rows
+
+
+def render_text(findings: Sequence[Finding], checked_files: int) -> str:
+    """Human-readable report: one ``path:line: [rule] message`` per finding."""
+    lines = [finding.format() for finding in findings]
+    noun = "file" if checked_files == 1 else "files"
+    if findings:
+        lines.append(f"{len(findings)} finding(s) in {checked_files} {noun}")
+    else:
+        lines.append(f"clean: 0 findings in {checked_files} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int) -> str:
+    """Machine-readable report (stable schema, ``version`` bumps on change)."""
+    document = {
+        "version": 1,
+        "checked_files": checked_files,
+        "count": len(findings),
+        "rules": [row["rule"] for row in describe_rules()],
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -132,7 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     build = sub.add_parser("build", help="build an engine snapshot from a corpus")
     build.add_argument("corpus")
-    build.add_argument("--method", choices=sorted(METHOD_REGISTRY), default="seal")
+    build.add_argument(
+        "--method", choices=sorted(METHOD_REGISTRY), default="planned",
+        help="engine method (default: planned — the cost-model planner "
+             "dispatching per query over the fixed-method portfolio; answers "
+             "are bit-identical to every fixed method)",
+    )
     build.add_argument("--out", required=True, help="snapshot path (.pkl)")
     build.add_argument(
         "--shards", type=int, default=None,
@@ -381,6 +386,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--num-queries", type=int, default=16)
     sweep_cmd.add_argument("--seed", type=int, default=13)
     sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant checkers (atomic writes, lock "
+             "order, replay determinism, error transport, ...) over source "
+             "trees; exits 1 on findings",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable report on stdout")
+    lint.add_argument("--rules", help="comma-separated subset of rule names to run")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 
@@ -1402,6 +1422,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(format_series_table("candidates per query", args.axis, series, metric="candidates"))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import (
+        LintDriver,
+        describe_rules,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        width = max(len(row["rule"]) for row in describe_rules())
+        for row in describe_rules():
+            print(f"{row['rule']:<{width}}  {row['description']}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+    try:
+        driver = LintDriver(rules=rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings, checked = driver.lint_paths(args.paths)
+    if args.as_json:
+        print(render_json(findings, checked))
+    else:
+        print(render_text(findings, checked))
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

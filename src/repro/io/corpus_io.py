@@ -18,6 +18,7 @@ from typing import Iterable, List, Sequence
 from repro.core.errors import SealError
 from repro.core.objects import Query, SpatioTextualObject
 from repro.geometry import Rect
+from repro.io.atomic import atomic_write
 
 
 class CorpusFormatError(SealError, ValueError):
@@ -25,19 +26,22 @@ class CorpusFormatError(SealError, ValueError):
 
 
 def save_corpus(objects: Iterable[SpatioTextualObject], path: str | Path) -> int:
-    """Write objects as JSONL; returns the number written."""
+    """Write objects as JSONL (atomically); returns the number written.
+
+    A crash mid-write can never leave a truncated corpus behind: the
+    lines land in a temp file that is fsynced and renamed into place.
+    """
     path = Path(path)
-    count = 0
-    with path.open("w", encoding="utf-8") as handle:
-        for obj in objects:
-            record = {
-                "oid": obj.oid,
-                "region": list(obj.region.as_tuple()),
-                "tokens": sorted(obj.tokens),
-            }
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-            count += 1
-    return count
+    lines: List[str] = []
+    for obj in objects:
+        record = {
+            "oid": obj.oid,
+            "region": list(obj.region.as_tuple()),
+            "tokens": sorted(obj.tokens),
+        }
+        lines.append(json.dumps(record, separators=(",", ":")) + "\n")
+    atomic_write(path, lambda handle: handle.write("".join(lines).encode("utf-8")))
+    return len(lines)
 
 
 def load_corpus(path: str | Path) -> List[SpatioTextualObject]:
@@ -69,20 +73,20 @@ def load_corpus(path: str | Path) -> List[SpatioTextualObject]:
 
 
 def save_queries(queries: Iterable[Query], path: str | Path) -> int:
-    """Write a query workload as JSONL; returns the number written."""
+    """Write a query workload as JSONL (atomically); returns the number
+    written."""
     path = Path(path)
-    count = 0
-    with path.open("w", encoding="utf-8") as handle:
-        for query in queries:
-            record = {
-                "region": list(query.region.as_tuple()),
-                "tokens": sorted(query.tokens),
-                "tau_r": query.tau_r,
-                "tau_t": query.tau_t,
-            }
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-            count += 1
-    return count
+    lines: List[str] = []
+    for query in queries:
+        record = {
+            "region": list(query.region.as_tuple()),
+            "tokens": sorted(query.tokens),
+            "tau_r": query.tau_r,
+            "tau_t": query.tau_t,
+        }
+        lines.append(json.dumps(record, separators=(",", ":")) + "\n")
+    atomic_write(path, lambda handle: handle.write("".join(lines).encode("utf-8")))
+    return len(lines)
 
 
 def load_queries(path: str | Path) -> List[Query]:

@@ -29,7 +29,12 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, TypeVar
 
-from repro.core.errors import AdmissionRejected, DeadlineExceeded
+from repro.core.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    DeadlineExceeded,
+    ServiceError,
+)
 
 T = TypeVar("T")
 
@@ -54,11 +59,11 @@ class AdmissionController:
         default_deadline: float | None = None,
     ) -> None:
         if workers < 1:
-            raise ValueError("workers must be a positive int")
+            raise ConfigurationError("workers must be a positive int")
         if max_queue < 0:
-            raise ValueError("max_queue must be >= 0")
+            raise ConfigurationError("max_queue must be >= 0")
         if default_deadline is not None and default_deadline <= 0.0:
-            raise ValueError("default_deadline must be positive seconds or None")
+            raise ConfigurationError("default_deadline must be positive seconds or None")
         self.workers = workers
         self.max_queue = max_queue
         self.default_deadline = default_deadline
@@ -93,7 +98,7 @@ class AdmissionController:
             :class:`DeadlineExceeded` if the deadline lapsed in queue.
         """
         if self._closed:
-            raise RuntimeError("AdmissionController is shut down")
+            raise ServiceError("AdmissionController is shut down")
         if deadline is None:
             deadline = self.default_deadline
         expires_at = time.monotonic() + deadline if deadline is not None else None

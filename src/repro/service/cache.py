@@ -31,6 +31,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.errors import ConfigurationError
 from repro.core.objects import Query
 from repro.core.stats import SearchResult
 
@@ -77,9 +78,9 @@ class ResultCache:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
-            raise ValueError("cache capacity must be a positive int")
+            raise ConfigurationError("cache capacity must be a positive int")
         if ttl is not None and ttl <= 0.0:
-            raise ValueError("cache ttl must be positive seconds or None")
+            raise ConfigurationError("cache ttl must be positive seconds or None")
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock

@@ -20,6 +20,8 @@ import math
 import threading
 from typing import Dict, List
 
+from repro.core.errors import ConfigurationError
+
 #: Histogram bucket upper bounds, in milliseconds.  Log-spaced from the
 #: cache-hit regime (tens of microseconds) to multi-second outliers; the
 #: final implicit bucket is +inf.
@@ -94,7 +96,7 @@ class LatencyHistogram:
         number for an unbounded bucket).
         """
         if not 0.0 < q <= 100.0:
-            raise ValueError("percentile must be in (0, 100]")
+            raise ConfigurationError("percentile must be in (0, 100]")
         with self._lock:
             return self._percentile_locked(q)
 

@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.core.errors import (
     AdmissionRejected,
+    ConfigurationError,
     DeadlineExceeded,
     InvalidQueryError,
     ProtocolError,
@@ -88,6 +89,7 @@ REPL_PREFIX = "repl-"
 #: exception the client raises.  Unknown kinds degrade to ServiceError.
 ERROR_KINDS: Dict[str, type] = {
     "AdmissionRejected": AdmissionRejected,
+    "ConfigurationError": ConfigurationError,
     "DeadlineExceeded": DeadlineExceeded,
     "InvalidQueryError": InvalidQueryError,
     "ProtocolError": ProtocolError,

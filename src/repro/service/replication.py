@@ -53,6 +53,7 @@ which is the re-bootstrap path again).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
@@ -87,6 +88,8 @@ from repro.service.protocol import (
 from repro.service.server import NetworkClient
 
 PathLike = Union[str, Path]
+
+_LOG = logging.getLogger(__name__)
 
 #: Seconds a caught-up replica sleeps between fetch polls.
 DEFAULT_POLL_SECONDS = 0.05
@@ -180,6 +183,7 @@ class ReplicationPrimary:
     def _note(self, replica: Any, applied: Any) -> None:
         if not isinstance(replica, str) or not replica:
             raise ProtocolError("'replica' must be a non-empty string id")
+        # repro-lint: disable=replay-determinism -- monitoring timestamp in the primary's replica table; never shipped or replayed
         entry = {"last_seen": time.time()}
         if (
             isinstance(applied, (list, tuple))
@@ -382,6 +386,7 @@ class ReplicaApplier:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self.replica_id = replica_id or (
+            # repro-lint: disable=replay-determinism -- replica *identity* (subscription key), generated once per process; not replayed state
             f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         )
         self._poll_interval = poll_interval
@@ -653,12 +658,14 @@ class ReplicaApplier:
     def catch_up(self, *, timeout: float = 30.0) -> int:
         """Fetch until the replica reports zero lag; returns records
         applied.  Raises :class:`ReplicationError` on timeout."""
+        # repro-lint: disable=replay-determinism -- pacing clock for the catch-up timeout; bounds waiting, never enters replayed state
         deadline = time.monotonic() + timeout
         total = 0
         while True:
             total += self.step()
             if self.lag_bytes() == 0:
                 return total
+            # repro-lint: disable=replay-determinism -- pacing clock, see deadline above
             if time.monotonic() > deadline:
                 raise ReplicationError(
                     f"replica failed to catch up within {timeout}s "
@@ -700,7 +707,12 @@ class ReplicaApplier:
         self._lineage = None
         try:
             self.bootstrap()
-        except Exception as exc:  # noqa: BLE001 - surfaced via status
+        # repro-lint: disable=error-transport -- applier self-heal boundary: the thread must survive to retry, failure is surfaced via status; unexpected kinds are logged with traceback
+        except Exception as exc:  # noqa: BLE001
+            if not isinstance(exc, (OSError, SealError)):
+                _LOG.exception(
+                    "unexpected %s during replica re-bootstrap", type(exc).__name__
+                )
             self.last_error = f"{type(exc).__name__}: {exc}"
             self._disconnect()
 
@@ -781,6 +793,7 @@ class ReplicaApplier:
         }
 
     def _write_status(self) -> None:
+        # repro-lint: disable=replay-determinism -- operator-facing freshness stamp in the status file; not replayed state
         document = dict(self.status(), updated=time.time())
         atomic_write_text(
             self.status_file, json.dumps(document, indent=2) + "\n"

@@ -29,6 +29,7 @@ whatever is serving the new generation.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -55,6 +56,8 @@ from repro.service.protocol import (
 )
 
 DEFAULT_HOST = "127.0.0.1"
+
+_LOG = logging.getLogger(__name__)
 
 #: Seconds between stop-event checks while a server socket blocks.
 _POLL_SECONDS = 0.2
@@ -209,13 +212,23 @@ def serve_connection(
             try:
                 payload = _dispatch(service, request)
                 response = {"ok": True, **meta(), **payload}
-            except Exception as exc:  # noqa: BLE001 - every failure crosses as a frame
+            except SealError as exc:
+                # Expected service-level failure (rejection, deadline,
+                # bad query): answer the error frame and keep serving.
                 response = {**error_to_wire(exc), **meta()}
-                if not isinstance(exc, SealError):
-                    # Unexpected failure: answer, then drop the
-                    # connection — the service may be wedged.
-                    _best_effort_send(conn, response, max_frame)
-                    return
+            # repro-lint: disable=error-transport -- outermost connection boundary: the failure must cross as a frame; unexpected types are logged loudly here and the connection drops
+            except Exception as exc:  # noqa: BLE001
+                # Unexpected failure: this is a bug, not a client error.
+                # Log it server-side with the traceback (the wire masks
+                # it as ServiceError), answer, then drop the connection
+                # — the service may be wedged.
+                _LOG.exception(
+                    "unexpected %s serving op %r; closing connection",
+                    type(exc).__name__,
+                    request.get("op") if isinstance(request, dict) else request,
+                )
+                _best_effort_send(conn, {**error_to_wire(exc), **meta()}, max_frame)
+                return
             try:
                 _send_frame(conn, response, max_frame=max_frame)
             except (OSError, ProtocolError):

@@ -37,6 +37,7 @@ loudly elsewhere.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
@@ -45,12 +46,14 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.errors import ServiceError
+from repro.core.errors import ConfigurationError, ServiceError
 from repro.io.generations import current_snapshot, publish_snapshot
 from repro.io.snapshot import load_engine
 from repro.service.protocol import MAX_FRAME_BYTES
 from repro.service.server import DEFAULT_HOST, _POLL_SECONDS, serve_connection
 from repro.service.service import QueryService
+
+_LOG = logging.getLogger(__name__)
 
 #: Seconds a draining worker gets to finish in-flight requests before
 #: the supervisor escalates to SIGTERM.
@@ -174,7 +177,7 @@ class ProcessSupervisor:
         respawn: bool = True,
     ) -> None:
         if workers < 1:
-            raise ValueError("workers must be a positive int")
+            raise ConfigurationError("workers must be a positive int")
         if "fork" not in multiprocessing.get_all_start_methods():
             raise ServiceError(
                 "multi-process serving needs the POSIX 'fork' start method "
@@ -286,7 +289,16 @@ class ProcessSupervisor:
                     worker.control.close()
                     try:
                         self._pool[i] = self._spawn()
-                    except ServiceError:  # pragma: no cover - respawn keeps trying
+                    except ServiceError as exc:  # pragma: no cover - respawn keeps trying
+                        # A failed respawn is an operational incident even
+                        # though the loop retries: say so, loudly, instead
+                        # of shrinking the pool in silence.
+                        _LOG.error(
+                            "respawn of dead worker %d failed (%s); retrying "
+                            "on the next monitor tick",
+                            i,
+                            exc,
+                        )
                         continue
                     self.respawns += 1
 

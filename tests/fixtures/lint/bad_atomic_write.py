@@ -1,0 +1,24 @@
+"""Seeded atomic-write violations: in-place writes and dump-to-handle."""
+
+import json
+from pathlib import Path
+
+
+def save_report(path, rows):
+    with open(path, "w") as handle:  # line 8: open(..., "w")
+        for row in rows:
+            handle.write(row + "\n")
+
+
+def save_blob(path, blob):
+    with Path(path).open("wb") as handle:  # line 14: Path.open("wb")
+        handle.write(blob)
+
+
+def append_log(path, line):
+    with open(path, mode="a") as handle:  # line 19: append mode via keyword
+        handle.write(line)
+
+
+def save_document(handle, document):
+    json.dump(document, handle)  # line 24: serialize straight into a handle

@@ -1,0 +1,18 @@
+"""Seeded replay-determinism violations: clocks, entropy, set iteration."""
+
+import os
+import random
+import time
+import uuid
+
+
+def apply_record(state, record):
+    state["applied_at"] = time.time()  # line 10: wall clock into state
+    state["nonce"] = os.urandom(8)  # line 11: entropy
+    state["shuffle"] = random.random()  # line 12: entropy
+    state["id"] = uuid.uuid4().hex  # line 13: entropy
+    for token in {"b", "a", "c"}:  # line 14: hash-ordered iteration
+        state.setdefault("tokens", []).append(token)
+    for token in set(record):  # line 16: hash-ordered iteration
+        state["tokens"].append(token)
+    return state

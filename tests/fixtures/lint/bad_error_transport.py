@@ -1,0 +1,15 @@
+"""Seeded error-transport violations: unregistered raises, broad swallow."""
+
+
+def validate(workers):
+    if workers < 1:
+        raise ValueError("workers must be positive")  # line 6: masked on the wire
+
+
+def handle(request):
+    if "op" not in request:
+        raise KeyError("op")  # line 11: masked on the wire
+    try:
+        return request["handler"]()
+    except Exception:  # line 14: swallows without re-raise or rationale
+        return None

@@ -1,0 +1,11 @@
+"""Seeded fork-safety violations: import-time mutable state and locks."""
+
+import threading
+from collections import defaultdict
+
+_SEEN = []  # line 6: empty mutable accumulator
+_CACHE = {}  # line 7: empty mutable cache
+_PENDING = set()  # line 8: empty mutable set
+_BY_OP = defaultdict(list)  # line 9: mutable factory
+_STATE_LOCK = threading.Lock()  # line 10: lock born pre-fork
+_JANITOR = threading.Thread(target=print)  # line 11: thread born pre-fork

@@ -1,0 +1,11 @@
+"""Seeded fsync-ordering violations: raw renames publishing files."""
+
+import os
+
+
+def publish(temp, target):
+    os.replace(temp, target)  # line 7: no fsync before the name swap
+
+
+def rotate(old, new):
+    os.rename(old, new)  # line 11: same family

@@ -1,0 +1,8 @@
+"""Seeded no-pickle violations outside the snapshot module."""
+
+import pickle  # line 3: import
+
+
+def stash(engine, path):
+    blob = pickle.dumps(engine)  # line 7: attribute use
+    return path, blob

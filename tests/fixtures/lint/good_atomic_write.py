@@ -1,0 +1,23 @@
+"""Atomic-write-clean code: reads freely, writes only through io/atomic."""
+
+import json
+
+from repro.io.atomic import atomic_write, atomic_write_text
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as handle:  # reads are fine
+        return handle.read()
+
+
+def save_report(path, rows):
+    atomic_write_text(path, "\n".join(rows) + "\n")
+
+
+def save_document(path, document):
+    atomic_write(path, lambda handle: handle.write(json.dumps(document).encode()))
+
+
+def save_jsonl(path, records):
+    # dump-to-handle is sanctioned inside an atomic_write writer
+    atomic_write(path, lambda handle: json.dump(records, handle))

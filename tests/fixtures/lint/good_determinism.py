@@ -1,0 +1,10 @@
+"""Deterministic replay: sorted iteration, record-carried timestamps."""
+
+
+def apply_record(state, record):
+    state["applied_at"] = record["logged_at"]  # timestamp rides the record
+    for token in sorted(set(record["tokens"])):  # sorted set: deterministic
+        state.setdefault("tokens", []).append(token)
+    for key in record:  # dicts preserve insertion order: fine
+        state[key] = record[key]
+    return state

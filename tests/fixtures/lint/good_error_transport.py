@@ -1,0 +1,24 @@
+"""Transport-clean error handling: registered kinds only, re-raise or narrow."""
+
+from repro.core.errors import ConfigurationError, ProtocolError, ServiceError
+
+
+def validate(workers):
+    if workers < 1:
+        raise ConfigurationError("workers must be positive")
+
+
+def handle(request, counters):
+    if "op" not in request:
+        raise ProtocolError("request carries no op")
+    try:
+        return request["handler"]()
+    except Exception:
+        counters["errors"] += 1
+        raise  # counted, then forwarded — nothing swallowed
+
+
+def forward(exc):
+    if isinstance(exc, OSError):
+        raise ServiceError("backend unavailable") from exc
+    raise exc  # re-raising a vetted local is fine

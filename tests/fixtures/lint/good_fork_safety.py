@@ -1,0 +1,14 @@
+"""Fork-safe module: constants at import time, state on instances."""
+
+import threading
+
+#: Populated constant registries are fine — they are never mutated.
+ERROR_NAMES = ("ServiceError", "ProtocolError")
+DEFAULTS = {"workers": 2, "max_queue": 64}
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()  # built after the fork, per instance
+        self._seen = []
+        self._cache = {}

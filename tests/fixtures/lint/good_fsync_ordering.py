@@ -1,0 +1,11 @@
+"""Fsync-clean publication: the durable-rename helper owns the ordering."""
+
+from repro.io.atomic import replace_durably
+
+
+def publish(temp, target):
+    replace_durably(temp, target)
+
+
+def relabel(text):
+    return text.replace("old", "new")  # str.replace is not a rename

@@ -1,0 +1,32 @@
+"""Lock-clean code: consistent ordering, checkpoint mutex first, and
+the ``*_locked`` convention for already-under-lock helpers."""
+
+import threading
+
+
+class OrderedEngine:
+    """Every path takes the checkpoint mutex before the engine lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._checkpoint_lock = threading.Lock()
+
+    def checkpoint(self):
+        with self._checkpoint_lock:
+            with self._lock:
+                self._flush_locked()
+
+    def recover(self):
+        with self._checkpoint_lock:
+            with self._lock:
+                pass
+
+    def _flush_locked(self):
+        pass  # caller already holds the locks
+
+    def worker(self):
+        def tail():  # closures run on another thread: not a held-path
+            with self._lock:
+                pass
+
+        return threading.Thread(target=tail)

@@ -1,0 +1,11 @@
+"""Pickle-clean persistence: goes through the snapshot module."""
+
+from repro.io.snapshot import load_engine, save_engine
+
+
+def stash(engine, path):
+    save_engine(engine, path)
+
+
+def restore(path):
+    return load_engine(path)

@@ -1,0 +1,25 @@
+"""Suppression-comment fixture: one rationaled (silenced), one bare
+(flagged), one naming an unknown rule (flagged), one standalone covering
+the next line."""
+
+import os
+import time
+
+
+def write_scratch(path, text):
+    with open(path, "w") as handle:  # repro-lint: disable=atomic-write -- scratch file, torn writes tolerated by design
+        handle.write(text)
+
+
+def publish(temp, target):
+    os.replace(temp, target)  # repro-lint: disable=fsync-ordering
+
+
+def stamp(state):
+    state["at"] = time.time()  # repro-lint: disable=no-such-rule -- the rule name is wrong
+
+
+def long_statement(path, text):
+    # repro-lint: disable=atomic-write -- standalone comment covers the write below
+    with open(path, "w") as handle:
+        handle.write(text)
